@@ -1,0 +1,37 @@
+"""Ablation (Insight 2): what does sub-kernel partitioning buy on the FT grid?
+
+Compares the unit-based mapper (ours) against LNN along a Hamiltonian path
+(no partitioning, latency-oblivious) and against the naive greedy router, on
+SWAP count and depth."""
+
+import pytest
+
+from conftest import FULL, bench_cell
+
+SIZES = [6, 8, 10, 12] if FULL else [6, 8, 10]
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_partition_ablation_ours(benchmark, m):
+    bench_cell(benchmark, "ours", "lattice", m)
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_partition_ablation_lnn(benchmark, m):
+    bench_cell(benchmark, "lnn", "lattice", m)
+
+
+@pytest.mark.parametrize("m", [6, 8])
+def test_partition_ablation_greedy(benchmark, m):
+    bench_cell(benchmark, "greedy", "lattice", m)
+
+
+@pytest.mark.parametrize("m", [8, 10])
+def test_unit_mapper_saves_swaps_over_lnn(benchmark, m):
+    ours = bench_cell(benchmark, "ours", "lattice", m)
+    from repro.eval import run_cell
+
+    lnn = run_cell("lnn", "lattice", m)
+    benchmark.extra_info["ours_swaps"] = ours.swap_count
+    benchmark.extra_info["lnn_swaps"] = lnn.swap_count
+    assert ours.swap_count < lnn.swap_count

@@ -1,0 +1,55 @@
+"""Ablation (Insight 1 / Appendix 5-7): relaxed vs strict QFT-IE ordering.
+
+The paper states the relaxed inter-unit schedule is about twice as fast as the
+strict one; in our implementation the strict variant additionally pays for
+generic completion of the pairs its restricted firing rule misses, so the gap
+is at least 2x (EXPERIMENTS.md discusses the difference)."""
+
+import pytest
+
+from repro.arch import LatticeSurgeryTopology, SycamoreTopology
+from repro.core import compile_qft
+from repro.verify import check_mapped_qft_structure
+
+SYCAMORE_SIZES = [4, 6]
+LATTICE_SIZES = [6, 8]
+
+
+def _run(benchmark, topo, strict):
+    def compile_once():
+        return compile_qft(topo, strict_ie=strict)
+
+    mapped = benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    assert check_mapped_qft_structure(mapped, topo.num_qubits).ok
+    benchmark.extra_info["strict_ie"] = strict
+    benchmark.extra_info["qubits"] = topo.num_qubits
+    benchmark.extra_info["depth"] = mapped.depth()
+    benchmark.extra_info["swaps"] = mapped.swap_count()
+    return mapped
+
+
+@pytest.mark.parametrize("m", SYCAMORE_SIZES)
+@pytest.mark.parametrize("strict", [False, True], ids=["relaxed", "strict"])
+def test_ablation_sycamore_ie(benchmark, m, strict):
+    _run(benchmark, SycamoreTopology(m), strict)
+
+
+@pytest.mark.parametrize("m", LATTICE_SIZES)
+@pytest.mark.parametrize("strict", [False, True], ids=["relaxed", "strict"])
+def test_ablation_lattice_ie(benchmark, m, strict):
+    _run(benchmark, LatticeSurgeryTopology(m), strict)
+
+
+@pytest.mark.parametrize("m", [4, 6])
+def test_relaxed_is_at_least_twice_as_shallow(benchmark, m):
+    topo = SycamoreTopology(m)
+
+    def both():
+        relaxed = compile_qft(topo, strict_ie=False)
+        strict = compile_qft(topo, strict_ie=True)
+        return relaxed, strict
+
+    relaxed, strict = benchmark.pedantic(both, rounds=1, iterations=1)
+    benchmark.extra_info["relaxed_depth"] = relaxed.depth()
+    benchmark.extra_info["strict_depth"] = strict.depth()
+    assert strict.depth() >= 2 * relaxed.depth()

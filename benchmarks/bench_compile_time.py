@@ -1,0 +1,31 @@
+"""Section 7.1.1 / Table 1 "CT" column: compilation-time scaling.
+
+The paper's point: the analytical construction has essentially no compilation
+cost and it does not grow the way SATMAP's (exponential) or SABRE's
+(polynomial, but resolution-dependent) does.  The benchmark times the three
+approaches on a growing heavy-hex instance and, for ours, asserts the cost
+stays near-instant.
+"""
+
+import pytest
+
+from conftest import FULL, bench_cell
+
+GROUPS = [2, 4, 8, 12, 16, 20] if FULL else [2, 4, 8, 12]
+SABRE_GROUPS = [2, 4, 8, 12] if FULL else [2, 4, 8]
+
+
+@pytest.mark.parametrize("groups", GROUPS)
+def test_compile_time_ours(benchmark, groups):
+    result = bench_cell(benchmark, "ours", "heavyhex", groups)
+    assert result.compile_time_s < 10.0
+
+
+@pytest.mark.parametrize("groups", SABRE_GROUPS)
+def test_compile_time_sabre(benchmark, groups):
+    bench_cell(benchmark, "sabre", "heavyhex", groups)
+
+
+def test_compile_time_satmap_times_out_beyond_ten_qubits(benchmark):
+    result = bench_cell(benchmark, "satmap", "heavyhex", 3, timeout_s=5)
+    assert result.status == "timeout"

@@ -1,0 +1,21 @@
+"""Figure 18: depth and #SWAP vs qubit count on Sycamore, ours vs SABRE."""
+
+import pytest
+
+from conftest import FULL, bench_cell
+
+SIZES = [2, 4, 6, 8, 10] if FULL else [2, 4, 6, 8]
+SABRE_SIZES = SIZES if FULL else [2, 4, 6]
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_fig18_ours(benchmark, m):
+    result = bench_cell(benchmark, "ours", "sycamore", m)
+    n = result.num_qubits
+    # linear-depth guarantee of Section 5 (paper constant 7, plus slack)
+    assert result.depth <= 12 * n + 40
+
+
+@pytest.mark.parametrize("m", SABRE_SIZES)
+def test_fig18_sabre(benchmark, m):
+    bench_cell(benchmark, "sabre", "sycamore", m)

@@ -1,0 +1,29 @@
+"""Figure 19: depth and #SWAP vs qubit count on the FT lattice-surgery backend,
+ours vs SABRE vs the LNN (Hamiltonian path) baseline, 100 to 1024 qubits."""
+
+import pytest
+
+from conftest import FULL, bench_cell
+
+SIZES = [10, 12, 16, 20, 24, 28, 32] if FULL else [10, 12, 16]
+LNN_SIZES = SIZES
+SABRE_SIZES = SIZES if FULL else [8, 10]
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_fig19_ours(benchmark, m):
+    result = bench_cell(benchmark, "ours", "lattice", m)
+    n = result.num_qubits
+    # linear weighted depth (Section 6); our row-unit schedule's constant is
+    # larger than the paper's 5N but must stay linear
+    assert result.depth <= 20 * n + 60
+
+
+@pytest.mark.parametrize("m", LNN_SIZES)
+def test_fig19_lnn_baseline(benchmark, m):
+    bench_cell(benchmark, "lnn", "lattice", m)
+
+
+@pytest.mark.parametrize("m", SABRE_SIZES)
+def test_fig19_sabre(benchmark, m):
+    bench_cell(benchmark, "sabre", "lattice", m)

@@ -1,0 +1,58 @@
+"""Table 1: ours vs SATMAP vs SABRE on Sycamore / heavy-hex / lattice surgery.
+
+Each benchmark is one cell of the table; compilation time is the benchmark
+measurement and depth / #SWAP are attached as extra info.  SATMAP only gets
+the smallest instance per architecture (it times out beyond ~10 qubits, which
+is exactly what the paper reports); SABRE is capped by default because the
+pure-Python re-implementation is slow at lattice-surgery sizes.
+"""
+
+import pytest
+
+from conftest import FULL, bench_cell
+
+SYCAMORE_SIZES = [2, 4, 6]
+HEAVYHEX_GROUPS = [2, 4, 6]
+LATTICE_SIZES = [10, 20, 30] if FULL else [10]
+SABRE_LATTICE_SIZES = [10, 20, 30] if FULL else [6, 8]
+
+
+@pytest.mark.parametrize("m", SYCAMORE_SIZES)
+def test_table1_ours_sycamore(benchmark, m):
+    bench_cell(benchmark, "ours", "sycamore", m)
+
+
+@pytest.mark.parametrize("m", SYCAMORE_SIZES)
+def test_table1_sabre_sycamore(benchmark, m):
+    bench_cell(benchmark, "sabre", "sycamore", m)
+
+
+def test_table1_satmap_sycamore_2x2(benchmark):
+    bench_cell(benchmark, "satmap", "sycamore", 2, timeout_s=60)
+
+
+@pytest.mark.parametrize("g", HEAVYHEX_GROUPS)
+def test_table1_ours_heavyhex(benchmark, g):
+    bench_cell(benchmark, "ours", "heavyhex", g)
+
+
+@pytest.mark.parametrize("g", HEAVYHEX_GROUPS)
+def test_table1_sabre_heavyhex(benchmark, g):
+    bench_cell(benchmark, "sabre", "heavyhex", g)
+
+
+def test_table1_satmap_heavyhex_10(benchmark):
+    # 10 qubits: the paper reports SATMAP finishing in ~440 s; our exact
+    # stand-in gets a 60 s budget and is allowed to report TLE.
+    result = bench_cell(benchmark, "satmap", "heavyhex", 2, timeout_s=60)
+    assert result.status in ("ok", "timeout")
+
+
+@pytest.mark.parametrize("m", LATTICE_SIZES)
+def test_table1_ours_lattice(benchmark, m):
+    bench_cell(benchmark, "ours", "lattice", m)
+
+
+@pytest.mark.parametrize("m", SABRE_LATTICE_SIZES)
+def test_table1_sabre_lattice(benchmark, m):
+    bench_cell(benchmark, "sabre", "lattice", m)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Quantum phase estimation (QPE) built on the hardware-mapped QFT kernel.
+
+QPE is one of the applications the paper's introduction motivates: it applies
+controlled powers of a unitary to a counting register and then runs an
+*inverse* QFT on that register to read the phase out.  This example
+
+1. compiles the QFT kernel for a small heavy-hex (caterpillar) device with the
+   paper's mapper,
+2. turns the mapped kernel into the inverse QFT by reversing its logical gate
+   stream and negating the rotation angles,
+3. simulates the full QPE circuit with the library's statevector simulator and
+   checks that the most likely outcome is the binary expansion of the phase.
+
+Because the mapped kernel (like the textbook circuit without its final SWAP
+network) produces a bit-reversed transform, the controlled powers are applied
+in bit-reversed association -- counting qubit ``k`` controls ``U^(2^k)`` --
+after which the estimate reads out in plain binary.
+
+Run with:  python examples/qpe_phase_estimation.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import CaterpillarTopology, compile_qft
+from repro.circuit import GateKind
+from repro.verify.statevector import apply_gate
+
+
+def inverse_qft_events(mapped):
+    """Logical gate stream of the inverse QFT from a mapped forward QFT."""
+
+    events = []
+    for kind, qubits, angle in reversed(mapped.logical_gate_events()):
+        if kind == GateKind.CPHASE:
+            events.append((kind, qubits, -angle))
+        else:  # H is self-inverse
+            events.append((kind, qubits, angle))
+    return events
+
+
+def run_qpe(phase: float, counting_qubits: int = 4):
+    """Estimate ``phase`` (a fraction of a full turn) with ``counting_qubits`` bits."""
+
+    # The counting register lives on a small heavy-hex fragment: a main line of
+    # three qubits with one dangling qubit (four in total).
+    device = CaterpillarTopology(3, [1])
+    assert device.num_qubits == counting_qubits
+    mapped_qft = compile_qft(device)
+
+    t = counting_qubits
+    n = t + 1  # one extra qubit holds the eigenstate |1> of U = diag(1, e^{2*pi*i*phase})
+    target = t
+
+    state = np.zeros(2 ** n, dtype=complex)
+    state[0] = 1.0
+    # eigenstate |1> on the target qubit (X via H-Z-H)
+    state = apply_gate(state, n, GateKind.H, (target,))
+    state = apply_gate(state, n, GateKind.RZ, (target,), math.pi)
+    state = apply_gate(state, n, GateKind.H, (target,))
+
+    # Hadamard the counting register and apply controlled-U^(2^k); the
+    # bit-reversed association matches the mapped (swap-free) QFT convention.
+    for k in range(t):
+        state = apply_gate(state, n, GateKind.H, (k,))
+    for k in range(t):
+        angle = 2 * math.pi * phase * (2 ** k)
+        state = apply_gate(state, n, GateKind.CPHASE, (k, target), angle)
+
+    # Inverse QFT on the counting register, straight from the mapped kernel.
+    for kind, qubits, angle in inverse_qft_events(mapped_qft):
+        state = apply_gate(state, n, kind, qubits, angle)
+
+    probs = np.abs(state) ** 2
+    counting_probs = np.zeros(2 ** t)
+    for idx, p in enumerate(probs):
+        bits = format(idx, f"0{n}b")[:t]  # counting qubits 0..t-1, qubit 0 is the MSB
+        counting_probs[int(bits, 2)] += p
+    best = int(np.argmax(counting_probs))
+    return best, counting_probs
+
+
+def main() -> None:
+    t = 4
+    for phase in (0.25, 0.375, 0.8125):
+        estimate, probs = run_qpe(phase, counting_qubits=t)
+        estimated_phase = estimate / 2 ** t
+        print(
+            f"true phase = {phase:.4f}   estimate = {estimate}/{2**t} = "
+            f"{estimated_phase:.4f}   P(best) = {probs[estimate]:.3f}"
+        )
+        assert abs(estimated_phase - phase) < 1 / 2 ** t, "QPE missed the phase"
+    print("QPE with the hardware-mapped QFT kernel recovered every phase.")
+
+
+if __name__ == "__main__":
+    main()

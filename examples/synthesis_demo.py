@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Re-discover the paper's inter-unit travel schedules with program synthesis.
+
+The paper (Appendix 5 and 7) uses SKETCH to solve for the loop offsets/bounds
+of the inter-unit interaction patterns.  This example runs the bundled
+miniature synthesiser on the same two sketches and prints what it finds:
+
+* Sycamore (diagonal links): the two unit lines must move **in sync**,
+* regular grid / lattice surgery (vertical links): the second line must start
+  **one step late** -- and the synced variant is provably unsatisfiable.
+
+Run with:  python examples/synthesis_demo.py
+"""
+
+from repro.synthesis import (
+    grid_ie_sketch,
+    synthesize_grid_ie,
+    synthesize_sycamore_ie,
+)
+
+
+def main() -> None:
+    print("Sycamore inter-unit sketch (links between columns differing by 1):")
+    result = synthesize_sycamore_ie(lengths=(4, 6, 8))
+    sol = result.first
+    print(f"  explored {result.explored} candidates in {result.elapsed_s * 1e3:.1f} ms")
+    print(f"  solution: {sol}")
+    print(f"  -> offsets are equal: the travel paths are synchronised (Fig. 13)\n")
+
+    print("Regular-grid inter-unit sketch (same-column vertical links):")
+    result = synthesize_grid_ie(lengths=(4, 5, 6, 8))
+    sol = result.first
+    print(f"  explored {result.explored} candidates in {result.elapsed_s * 1e3:.1f} ms")
+    print(f"  solution: {sol}")
+    print("  -> the second row starts one step late (Fig. 16 / Appendix 7)\n")
+
+    print("Counterfactual: force both rows to the same offset on the grid:")
+    sketch = grid_ie_sketch()
+    forced = [
+        a
+        for a in (
+            {"offset_a": 0, "offset_b": 0, "rounds_coeff": c, "rounds_const": k}
+            for c in (1, 2)
+            for k in (0, 1, 2)
+        )
+        if sketch.check(a, [{"L": 4}, {"L": 6}])
+    ]
+    print(f"  satisfying assignments with equal offsets: {len(forced)} (expected 0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro -- reproduction of "Optimizing QFT Kernels for Modern NISQ and FT
+Architectures" (SC 2024).
+
+Public API highlights
+---------------------
+
+Architectures (:mod:`repro.arch`):
+    ``LNNTopology``, ``GridTopology``, ``SycamoreTopology``,
+    ``CaterpillarTopology`` / ``HeavyHexTopology``, ``LatticeSurgeryTopology``.
+
+Compilation (:mod:`repro.core`):
+    ``compile_qft(topology)`` -- the one-call domain-specific mapper facade,
+    plus the individual mappers (``LNNQFTMapper``, ``HeavyHexQFTMapper``,
+    ``SycamoreQFTMapper``, ``LatticeSurgeryQFTMapper``, ``GridQFTMapper``).
+
+Baselines (:mod:`repro.baselines`):
+    ``SabreMapper`` (re-implemented SABRE), ``SatmapMapper`` (exact
+    branch-and-bound stand-in for SATMAP), ``LNNPathMapper``.
+
+Verification (:mod:`repro.verify`):
+    ``verify_mapped_qft(mapped)`` -- structural + statevector checks.
+
+Evaluation (:mod:`repro.eval`):
+    experiment runners regenerating Table 1 and Figures 17-19/27.
+"""
+
+from .arch import (
+    CaterpillarTopology,
+    GridTopology,
+    HeavyHexTopology,
+    LatticeSurgeryTopology,
+    LNNTopology,
+    SycamoreTopology,
+    Topology,
+    TwoRowTopology,
+)
+from .circuit import (
+    Circuit,
+    Gate,
+    GateKind,
+    MappedCircuit,
+    MappingBuilder,
+    Op,
+    PartitionRange,
+    qft_angle,
+    qft_circuit,
+    qft_partitioned,
+)
+from .core import (
+    GreedyRouterMapper,
+    GridQFTMapper,
+    HeavyHexQFTMapper,
+    LatticeSurgeryQFTMapper,
+    LNNQFTMapper,
+    QFTDependenceTracker,
+    SycamoreQFTMapper,
+    compile_qft,
+    mapper_for,
+)
+from .verify import verify_mapped_qft
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CaterpillarTopology",
+    "GridTopology",
+    "HeavyHexTopology",
+    "LatticeSurgeryTopology",
+    "LNNTopology",
+    "SycamoreTopology",
+    "Topology",
+    "TwoRowTopology",
+    "Circuit",
+    "Gate",
+    "GateKind",
+    "MappedCircuit",
+    "MappingBuilder",
+    "Op",
+    "PartitionRange",
+    "qft_angle",
+    "qft_circuit",
+    "qft_partitioned",
+    "GreedyRouterMapper",
+    "GridQFTMapper",
+    "HeavyHexQFTMapper",
+    "LatticeSurgeryQFTMapper",
+    "LNNQFTMapper",
+    "QFTDependenceTracker",
+    "SycamoreQFTMapper",
+    "compile_qft",
+    "mapper_for",
+    "verify_mapped_qft",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Hardware architectures (coupling graphs and cost models)."""
+
+from .topology import Topology
+from .lnn import LNNTopology
+from .grid import GridTopology, TwoRowTopology
+from .sycamore import SycamoreTopology
+from .heavy_hex import CaterpillarTopology, HeavyHexTopology
+from .lattice_surgery import LatticeSurgeryTopology
+
+__all__ = [
+    "Topology",
+    "LNNTopology",
+    "GridTopology",
+    "TwoRowTopology",
+    "SycamoreTopology",
+    "CaterpillarTopology",
+    "HeavyHexTopology",
+    "LatticeSurgeryTopology",
+]

@@ -1,0 +1,76 @@
+"""Regular 2-D grid architectures.
+
+Two shapes are used by the paper:
+
+* the general ``rows x cols`` grid (Appendix 7 synthesises inter-unit
+  schedules for it, and it is a useful uniform-latency stand-in for the FT
+  grid in ablations), and
+* the special ``2 x N`` grid of Zhang et al. [43], whose QFT pattern is reused
+  inside the lattice-surgery mapper (Section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .topology import Topology
+
+__all__ = ["GridTopology", "TwoRowTopology"]
+
+
+class GridTopology(Topology):
+    """A ``rows x cols`` grid with horizontal and vertical nearest-neighbour links.
+
+    Physical qubit index of cell ``(r, c)`` is ``r * cols + c``.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError("grid needs positive dimensions")
+        self.rows = rows
+        self.cols = cols
+        edges: List[Tuple[int, int]] = []
+        positions: Dict[int, Tuple[float, float]] = {}
+        for r in range(rows):
+            for c in range(cols):
+                q = r * cols + c
+                positions[q] = (float(c), float(-r))
+                if c + 1 < cols:
+                    edges.append((q, q + 1))
+                if r + 1 < rows:
+                    edges.append((q, q + cols))
+        super().__init__(rows * cols, edges, name=f"grid_{rows}x{cols}", positions=positions)
+
+    # -- coordinate helpers --------------------------------------------------
+    def index(self, r: int, c: int) -> int:
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise ValueError(f"cell ({r}, {c}) outside {self.rows}x{self.cols} grid")
+        return r * self.cols + c
+
+    def coords(self, q: int) -> Tuple[int, int]:
+        if not (0 <= q < self.num_qubits):
+            raise ValueError(f"qubit {q} outside grid")
+        return divmod(q, self.cols)
+
+    def row_qubits(self, r: int) -> List[int]:
+        return [self.index(r, c) for c in range(self.cols)]
+
+    def col_qubits(self, c: int) -> List[int]:
+        return [self.index(r, c) for r in range(self.rows)]
+
+    def serpentine_order(self) -> List[int]:
+        """Hamiltonian path visiting rows in a boustrophedon (snake) order."""
+
+        order: List[int] = []
+        for r in range(self.rows):
+            cs = range(self.cols) if r % 2 == 0 else range(self.cols - 1, -1, -1)
+            order.extend(self.index(r, c) for c in cs)
+        return order
+
+
+class TwoRowTopology(GridTopology):
+    """The ``2 x N`` grid of Zhang et al. [43]."""
+
+    def __init__(self, cols: int) -> None:
+        super().__init__(2, cols)
+        self.name = f"two_row_{cols}"

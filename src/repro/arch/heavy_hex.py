@@ -1,0 +1,253 @@
+"""IBM heavy-hex architecture and its unrolled "caterpillar" coupling graph.
+
+Section 4 of the paper does not map QFT onto the raw heavy-hex lattice.
+Following its Appendix 1 (Fig. 20), some links of the heavy-hex device are
+deleted to obtain a simplified coupling graph consisting of one long *main
+line* with *dangling points* hanging off it -- a caterpillar tree.  The
+mapper (:mod:`repro.core.heavy_hex_mapper`) then works on that caterpillar.
+
+Two classes are provided:
+
+``CaterpillarTopology``
+    The simplified coupling graph itself, parameterised by the main-line
+    length and the set of main-line positions that carry a dangling qubit.
+    The paper's evaluation uses the regular case of one dangling point per
+    group of five qubits (four on the main line, one dangling), built by
+    :meth:`CaterpillarTopology.regular_groups`.
+
+``HeavyHexTopology``
+    A faithful heavy-hex lattice generator (rows of qubits connected by
+    bridge qubits every four columns, with alternating offsets, as on IBM
+    devices).  Its :meth:`HeavyHexTopology.to_caterpillar` performs the
+    link-deletion unrolling of Appendix 1: the main line snakes through the
+    row qubits using the end-column bridges, and every other bridge qubit
+    becomes a dangling point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .topology import Topology
+
+__all__ = ["CaterpillarTopology", "HeavyHexTopology"]
+
+
+class CaterpillarTopology(Topology):
+    """A main line of ``main_length`` qubits with dangling qubits attached.
+
+    Physical indexing: main-line qubits are ``0 .. main_length-1`` from left
+    to right; dangling qubits are ``main_length ..`` in order of their
+    junction position.
+
+    Parameters
+    ----------
+    main_length:
+        Number of qubits on the main line.
+    dangling_junctions:
+        Main-line positions (strictly increasing) that each carry one dangling
+        qubit.
+    """
+
+    def __init__(self, main_length: int, dangling_junctions: Sequence[int]) -> None:
+        if main_length < 1:
+            raise ValueError("main line needs at least one qubit")
+        junctions = list(dangling_junctions)
+        if junctions != sorted(set(junctions)):
+            raise ValueError("dangling junctions must be strictly increasing and unique")
+        for j in junctions:
+            if not (0 <= j < main_length):
+                raise ValueError(f"dangling junction {j} outside main line")
+        self.main_length = main_length
+        self.dangling_junctions: List[int] = junctions
+        # physical index of the dangling qubit hanging off main position j
+        self.dangling_of: Dict[int, int] = {
+            j: main_length + k for k, j in enumerate(junctions)
+        }
+        self.junction_of: Dict[int, int] = {d: j for j, d in self.dangling_of.items()}
+
+        edges: List[Tuple[int, int]] = [(i, i + 1) for i in range(main_length - 1)]
+        positions: Dict[int, Tuple[float, float]] = {
+            i: (float(i), 0.0) for i in range(main_length)
+        }
+        for j, d in self.dangling_of.items():
+            edges.append((j, d))
+            positions[d] = (float(j), -1.0)
+        super().__init__(
+            main_length + len(junctions),
+            edges,
+            name=f"caterpillar_{main_length}+{len(junctions)}",
+            positions=positions,
+        )
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def regular_groups(
+        cls, num_groups: int, group_size: int = 5, dangling_offset: int = 3
+    ) -> "CaterpillarTopology":
+        """The paper's evaluation layout: ``num_groups`` groups of
+        ``group_size`` qubits, ``group_size - 1`` on the main line and one
+        dangling, attached at offset ``dangling_offset`` within the group.
+        """
+
+        if num_groups < 1:
+            raise ValueError("need at least one group")
+        if group_size < 2:
+            raise ValueError("group size must be at least 2")
+        if not (0 <= dangling_offset < group_size - 1):
+            raise ValueError("dangling offset must be inside the group's main segment")
+        main_per_group = group_size - 1
+        main_length = num_groups * main_per_group
+        junctions = [g * main_per_group + dangling_offset for g in range(num_groups)]
+        topo = cls(main_length, junctions)
+        topo.name = f"heavyhex_caterpillar_{num_groups * group_size}"
+        return topo
+
+    # -- structure queries -----------------------------------------------
+    @property
+    def num_dangling(self) -> int:
+        return len(self.dangling_junctions)
+
+    def is_main(self, q: int) -> bool:
+        return q < self.main_length
+
+    def is_dangling(self, q: int) -> bool:
+        return q >= self.main_length
+
+    def main_qubits(self) -> List[int]:
+        return list(range(self.main_length))
+
+    def dangling_qubits(self) -> List[int]:
+        return list(range(self.main_length, self.num_qubits))
+
+    def serpentine_order(self) -> List[int]:
+        """Physical qubits in the paper's initial-mapping order (Fig. 10).
+
+        The order walks the main line left to right; whenever a main node has
+        a dangling neighbour, the dangling qubit immediately follows it (the
+        "node below has index i+1, right node has index i+2" rule).
+        """
+
+        order: List[int] = []
+        for p in range(self.main_length):
+            order.append(p)
+            d = self.dangling_of.get(p)
+            if d is not None:
+                order.append(d)
+        return order
+
+
+class HeavyHexTopology(Topology):
+    """An IBM-style heavy-hex lattice.
+
+    The lattice consists of ``num_rows`` horizontal rows of ``row_length``
+    qubits each; adjacent rows are connected through *bridge* qubits placed
+    every four columns, with the column offset alternating between the right
+    end (columns ``c % 4 == 2``) and the left end (``c % 4 == 0``) so that the
+    boustrophedon unrolling of Appendix 1 is possible.  Choosing
+    ``row_length % 4 == 3`` (as on IBM devices, e.g. 15 or 27 columns) makes
+    the extreme bridges sit exactly at the row ends.
+    """
+
+    def __init__(self, num_rows: int, row_length: int) -> None:
+        if num_rows < 1 or row_length < 3:
+            raise ValueError("heavy-hex lattice needs >=1 rows and >=3 columns")
+        self.num_rows = num_rows
+        self.row_length = row_length
+
+        edges: List[Tuple[int, int]] = []
+        positions: Dict[int, Tuple[float, float]] = {}
+        self._row_qubit: Dict[Tuple[int, int], int] = {}
+        idx = 0
+        for r in range(num_rows):
+            for c in range(row_length):
+                self._row_qubit[(r, c)] = idx
+                positions[idx] = (float(c), -2.0 * r)
+                idx += 1
+        for r in range(num_rows):
+            for c in range(row_length - 1):
+                edges.append((self._row_qubit[(r, c)], self._row_qubit[(r, c + 1)]))
+
+        self._bridges: List[Tuple[int, int, int]] = []  # (row boundary, column, phys)
+        for r in range(num_rows - 1):
+            offset = 2 if r % 2 == 0 else 0
+            for c in range(offset, row_length, 4):
+                phys = idx
+                idx += 1
+                positions[phys] = (float(c), -2.0 * r - 1.0)
+                edges.append((self._row_qubit[(r, c)], phys))
+                edges.append((phys, self._row_qubit[(r + 1, c)]))
+                self._bridges.append((r, c, phys))
+
+        super().__init__(idx, edges, name=f"heavyhex_{num_rows}x{row_length}", positions=positions)
+
+    # -- structure queries -----------------------------------------------
+    def row_qubit(self, r: int, c: int) -> int:
+        return self._row_qubit[(r, c)]
+
+    def bridges(self) -> List[Tuple[int, int, int]]:
+        """All bridge qubits as (row boundary, column, physical index)."""
+
+        return list(self._bridges)
+
+    def to_caterpillar(self) -> Tuple[CaterpillarTopology, List[int]]:
+        """Unroll to the simplified coupling graph of Appendix 1.
+
+        The main line snakes through the row qubits: row 0 left-to-right, then
+        through the *end-most* bridge of the row boundary down to row 1,
+        row 1 right-to-left, and so on.  Bridge qubits not used for turning
+        become dangling points attached to the row *above* them (the link to
+        the row below is "deleted").
+
+        Returns ``(caterpillar, phys_map)`` where ``phys_map[i]`` is the
+        heavy-hex physical qubit corresponding to caterpillar qubit ``i``.
+        """
+
+        main_hh: List[int] = []
+        dangling_after: Dict[int, int] = {}  # main position -> heavy-hex bridge qubit
+
+        bridges_by_boundary: Dict[int, List[Tuple[int, int]]] = {}
+        for r, c, phys in self._bridges:
+            bridges_by_boundary.setdefault(r, []).append((c, phys))
+        for r in bridges_by_boundary:
+            bridges_by_boundary[r].sort()
+
+        for r in range(self.num_rows):
+            left_to_right = r % 2 == 0
+            cols = range(self.row_length) if left_to_right else range(self.row_length - 1, -1, -1)
+            boundary = bridges_by_boundary.get(r, [])
+            # Bridge used to turn into the next row: the one closest to the end
+            # we finish the row at.
+            turn_col: Optional[int] = None
+            if r < self.num_rows - 1 and boundary:
+                turn_col = boundary[-1][0] if left_to_right else boundary[0][0]
+            dangling_cols = {c: phys for c, phys in boundary if c != turn_col}
+            # dangling bridges of the boundary *above* attach to this row only
+            # through their upper-row edge, which we keep; nothing to do here.
+            for c in cols:
+                main_hh.append(self._row_qubit[(r, c)])
+                pos = len(main_hh) - 1
+                if c in dangling_cols:
+                    dangling_after[pos] = dangling_cols[c]
+            if turn_col is not None:
+                turn_phys = dict(boundary)[turn_col]
+                main_hh.append(turn_phys)
+
+        # The unrolling is only a subgraph of the device if consecutive main
+        # line entries are genuinely coupled (requires the end-column bridges,
+        # i.e. row_length % 4 == 3 with the alternating offsets used here).
+        for a, b in zip(main_hh, main_hh[1:]):
+            if not self.has_edge(a, b):
+                raise ValueError(
+                    "cannot unroll this heavy-hex lattice into a caterpillar: "
+                    f"main-line qubits {a} and {b} are not coupled "
+                    "(use row_length % 4 == 3, e.g. 15 or 27 columns)"
+                )
+
+        junction_positions = sorted(dangling_after)
+        caterpillar = CaterpillarTopology(len(main_hh), junction_positions)
+        caterpillar.name = f"{self.name}_unrolled"
+        phys_map: List[int] = list(main_hh)
+        for j in junction_positions:
+            phys_map.append(dangling_after[j])
+        return caterpillar, phys_map

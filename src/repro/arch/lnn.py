@@ -1,0 +1,30 @@
+"""Linear nearest-neighbour (LNN) architecture: a line of qubits.
+
+The LNN line is the base case of the paper's whole framework (Section 2.2):
+the known linear-depth QFT mapping exists on it, and every other architecture
+is handled by reducing to (or extending) the LNN solution.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .topology import Topology
+
+__all__ = ["LNNTopology"]
+
+
+class LNNTopology(Topology):
+    """A path graph ``0 - 1 - 2 - ... - (n-1)``."""
+
+    def __init__(self, num_qubits: int) -> None:
+        if num_qubits < 1:
+            raise ValueError("LNN line needs at least one qubit")
+        edges = [(i, i + 1) for i in range(num_qubits - 1)]
+        positions = {i: (float(i), 0.0) for i in range(num_qubits)}
+        super().__init__(num_qubits, edges, name=f"lnn_{num_qubits}", positions=positions)
+
+    def line_order(self) -> List[int]:
+        """Physical qubits in line order (trivially ``0..n-1``)."""
+
+        return list(range(self.num_qubits))

@@ -1,0 +1,179 @@
+"""Hardware topology (coupling graph) abstraction.
+
+Every backend in the paper -- the LNN line, the 2-D grid, Google Sycamore,
+IBM heavy-hex and the lattice-surgery FT grid -- is modelled as a
+:class:`Topology`: a set of physical qubits, an undirected edge set, and a
+per-edge cost model.
+
+The cost model is what distinguishes the FT backend: on lattice surgery a
+SWAP over a "fast" (green) link has latency 2 while a SWAP over a CNOT-only
+link costs three CNOTs and therefore latency 6 (Section 2.3).  On NISQ
+backends every op costs one cycle.  Subclasses override
+:meth:`Topology.op_latency` accordingly; the ASAP scheduler in
+:mod:`repro.circuit.schedule` is cost-model agnostic.
+
+Distances are computed lazily with scipy's sparse BFS (vectorised all-pairs
+shortest path), because the SABRE baseline scores candidate SWAPs against the
+full distance matrix and pure-Python BFS would dominate its runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+import networkx as nx
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
+
+from ..circuit.gates import GateKind, Op
+
+__all__ = ["Topology", "Edge"]
+
+Edge = Tuple[int, int]
+
+
+def _norm_edge(a: int, b: int) -> Edge:
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass
+class Topology:
+    """An undirected coupling graph over ``num_qubits`` physical qubits.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of physical qubits, indexed ``0..num_qubits-1``.
+    edges:
+        Iterable of undirected edges.
+    name:
+        Human-readable backend name.
+    positions:
+        Optional ``{qubit: (x, y)}`` coordinates used by architecture-specific
+        mappers (row/column reasoning) and by plotting helpers.
+    """
+
+    num_qubits: int
+    edges: Iterable[Edge]
+    name: str = "topology"
+    positions: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise ValueError("Topology needs at least one qubit")
+        edge_set: Set[Edge] = set()
+        for a, b in self.edges:
+            if a == b:
+                raise ValueError(f"self-loop edge ({a}, {b})")
+            if not (0 <= a < self.num_qubits and 0 <= b < self.num_qubits):
+                raise ValueError(f"edge ({a}, {b}) outside qubit range")
+            edge_set.add(_norm_edge(a, b))
+        self._edges: FrozenSet[Edge] = frozenset(edge_set)
+        self._adj: List[List[int]] = [[] for _ in range(self.num_qubits)]
+        for a, b in sorted(self._edges):
+            self._adj[a].append(b)
+            self._adj[b].append(a)
+        for nbrs in self._adj:
+            nbrs.sort()
+        self._dist: Optional[np.ndarray] = None
+
+    # -- graph accessors -----------------------------------------------------
+    @property
+    def edge_set(self) -> FrozenSet[Edge]:
+        return self._edges
+
+    def edge_list(self) -> List[Edge]:
+        return sorted(self._edges)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def has_edge(self, a: int, b: int) -> bool:
+        return _norm_edge(a, b) in self._edges
+
+    def neighbors(self, q: int) -> List[int]:
+        return list(self._adj[q])
+
+    def degree(self, q: int) -> int:
+        return len(self._adj[q])
+
+    def to_networkx(self) -> nx.Graph:
+        g = nx.Graph()
+        g.add_nodes_from(range(self.num_qubits))
+        g.add_edges_from(self._edges)
+        return g
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.to_networkx())
+
+    # -- distances -------------------------------------------------------
+    def distance_matrix(self) -> np.ndarray:
+        """All-pairs unweighted shortest-path distances (int matrix)."""
+
+        if self._dist is None:
+            rows, cols = [], []
+            for a, b in self._edges:
+                rows.extend((a, b))
+                cols.extend((b, a))
+            data = np.ones(len(rows), dtype=np.int8)
+            mat = csr_matrix(
+                (data, (rows, cols)), shape=(self.num_qubits, self.num_qubits)
+            )
+            dist = shortest_path(mat, method="D", unweighted=True, directed=False)
+            self._dist = dist
+        return self._dist
+
+    def distance(self, a: int, b: int) -> int:
+        return int(self.distance_matrix()[a, b])
+
+    def shortest_path(self, a: int, b: int) -> List[int]:
+        """One shortest physical path from ``a`` to ``b`` (BFS)."""
+
+        if a == b:
+            return [a]
+        prev = {a: None}
+        frontier = [a]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if v not in prev:
+                        prev[v] = u
+                        if v == b:
+                            path = [b]
+                            while prev[path[-1]] is not None:
+                                path.append(prev[path[-1]])
+                            return list(reversed(path))
+                        nxt.append(v)
+            frontier = nxt
+        raise ValueError(f"no path between {a} and {b}; topology is disconnected")
+
+    # -- cost model --------------------------------------------------------
+    def op_latency(self, op: Op) -> int:
+        """Latency (in cycles) of a mapped op.  NISQ default: 1 cycle."""
+
+        return 1
+
+    def swap_latency(self, a: int, b: int) -> int:
+        return self.op_latency(Op(GateKind.SWAP, (a, b), (-1, -1)))
+
+    def cphase_latency(self, a: int, b: int) -> int:
+        return self.op_latency(Op(GateKind.CPHASE, (a, b), (-1, -1), 0.0))
+
+    # -- misc ------------------------------------------------------------
+    def subtopology(self, qubits: Sequence[int], name: str = "") -> "Topology":
+        """Induced sub-topology on ``qubits`` with relabelled indices 0..k-1."""
+
+        index = {q: i for i, q in enumerate(qubits)}
+        edges = [
+            (index[a], index[b])
+            for a, b in self._edges
+            if a in index and b in index
+        ]
+        pos = {index[q]: self.positions[q] for q in qubits if q in self.positions}
+        return Topology(len(qubits), edges, name or f"{self.name}_sub", pos)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{self.__class__.__name__}(name={self.name!r}, qubits={self.num_qubits}, edges={self.num_edges()})"

@@ -1,0 +1,7 @@
+"""Baseline compilers the paper compares against (Section 7)."""
+
+from .lnn_path import LNNPathMapper
+from .sabre import SabreMapper
+from .satmap import SatmapMapper, SatmapTimeout
+
+__all__ = ["LNNPathMapper", "SabreMapper", "SatmapMapper", "SatmapTimeout"]

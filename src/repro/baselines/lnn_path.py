@@ -1,0 +1,49 @@
+"""LNN baseline: Maslov-style line QFT along a Hamiltonian path.
+
+The paper's Fig. 19 compares against "LNN" on the lattice-surgery backend:
+find a Hamiltonian path through the grid (a serpentine always exists there),
+then run the known linear-depth LNN QFT along it, *ignoring* the heterogeneous
+link latencies.  The path's turns use the slow vertical links, and every SWAP
+along the serpentine is charged at the link's true cost when the depth is
+evaluated -- which is exactly why the unit-based mapper of Section 6 wins.
+
+On Sycamore and heavy-hex no Hamiltonian path through all qubits exists
+(Section 2.2), so -- like the paper -- this baseline only applies to grid-like
+topologies; :class:`LNNPathMapper` raises otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..arch.topology import Topology
+from ..circuit.schedule import MappedCircuit
+from ..core.lnn_mapper import map_qft_on_line
+
+__all__ = ["LNNPathMapper"]
+
+
+class LNNPathMapper:
+    """QFT via the LNN solution along a Hamiltonian (serpentine) path."""
+
+    name = "lnn-path"
+
+    def __init__(self, topology: Topology, path: Optional[List[int]] = None) -> None:
+        self.topology = topology
+        if path is not None:
+            self.path = list(path)
+        elif hasattr(topology, "serpentine_order"):
+            self.path = list(topology.serpentine_order())
+        else:
+            raise ValueError(
+                f"no Hamiltonian path known for {topology.name}; "
+                "pass one explicitly if it exists"
+            )
+        for a, b in zip(self.path, self.path[1:]):
+            if not topology.has_edge(a, b):
+                raise ValueError(f"path entries {a} and {b} are not coupled")
+        if len(set(self.path)) != topology.num_qubits:
+            raise ValueError("path must visit every physical qubit exactly once")
+
+    def map_qft(self, num_qubits: Optional[int] = None) -> MappedCircuit:
+        return map_qft_on_line(self.topology, self.path, num_qubits, name=self.name)

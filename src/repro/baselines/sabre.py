@@ -1,0 +1,318 @@
+"""SABRE qubit mapping (Li, Ding, Xie -- ASPLOS 2019), re-implemented.
+
+SABRE is the paper's main baseline (Section 7): a heuristic SWAP-insertion
+router that maintains a *front layer* of gates whose dependences are resolved,
+greedily executes whatever is already hardware-compliant, and otherwise
+inserts the SWAP that minimises a distance heuristic combining the front layer
+with a look-ahead *extended set*, modulated by per-qubit decay factors to
+spread SWAPs across qubits.  The initial mapping is improved with
+forward/backward passes over the circuit ("reverse traversal").
+
+This re-implementation follows the published algorithm; it is seeded (the
+paper's Fig. 27 shows how strongly SABRE's output depends on the seed, and
+:mod:`repro.eval.experiments` reproduces that observation).  Hot paths use a
+precomputed numpy distance matrix; the control flow stays in plain Python, so
+very large instances (>~500 qubits) are slow -- the benchmark harness caps
+SABRE sizes accordingly (see DESIGN.md "Substitutions").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..arch.topology import Topology
+from ..circuit.circuit import Circuit
+from ..circuit.gates import GateKind
+from ..circuit.qft import qft_circuit
+from ..circuit.schedule import MappedCircuit, MappingBuilder
+
+__all__ = ["SabreMapper"]
+
+
+@dataclass
+class _Dag:
+    """Lightweight per-qubit-chain dependence DAG (program order)."""
+
+    num_gates: int
+    successors: List[List[int]]
+    indegree: List[int]
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit) -> "_Dag":
+        last_on_qubit: Dict[int, int] = {}
+        successors: List[List[int]] = [[] for _ in circuit.gates]
+        indegree = [0] * len(circuit.gates)
+        for idx, gate in enumerate(circuit.gates):
+            preds = set()
+            for q in gate.qubits:
+                if q in last_on_qubit:
+                    preds.add(last_on_qubit[q])
+                last_on_qubit[q] = idx
+            for p in preds:
+                successors[p].append(idx)
+                indegree[idx] += 1
+        return cls(len(circuit.gates), successors, indegree)
+
+
+class SabreMapper:
+    """SABRE-style heuristic mapper.
+
+    Parameters
+    ----------
+    topology:
+        Target coupling graph.
+    seed:
+        RNG seed for the initial mapping (and tie breaking).
+    passes:
+        Number of traversal passes used to refine the initial mapping
+        (1 = single forward pass with the seed mapping, 3 = the classic
+        forward/backward/forward schedule).
+    extended_set_size:
+        Number of look-ahead gates in the extended set.
+    extended_set_weight:
+        Weight of the extended-set term in the heuristic.
+    decay_delta / decay_reset_interval:
+        Decay-factor parameters from the SABRE paper.
+    """
+
+    name = "sabre"
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        seed: int = 0,
+        passes: int = 3,
+        extended_set_size: int = 20,
+        extended_set_weight: float = 0.5,
+        decay_delta: float = 0.001,
+        decay_reset_interval: int = 5,
+        trivial_initial_layout: bool = False,
+    ) -> None:
+        self.topology = topology
+        self.seed = seed
+        self.passes = max(1, passes)
+        self.extended_set_size = extended_set_size
+        self.extended_set_weight = extended_set_weight
+        self.decay_delta = decay_delta
+        self.decay_reset_interval = decay_reset_interval
+        self.trivial_initial_layout = trivial_initial_layout
+        self._dist = topology.distance_matrix()
+
+    # ------------------------------------------------------------------
+    def map_qft(self, num_qubits: Optional[int] = None) -> MappedCircuit:
+        n = num_qubits if num_qubits is not None else self.topology.num_qubits
+        return self.map_circuit(qft_circuit(n))
+
+    def map_circuit(self, circuit: Circuit) -> MappedCircuit:
+        n = circuit.num_qubits
+        if n > self.topology.num_qubits:
+            raise ValueError("more logical qubits than physical qubits")
+
+        rng = random.Random(self.seed)
+        if self.trivial_initial_layout:
+            layout = list(range(n))
+        else:
+            phys = list(range(self.topology.num_qubits))
+            rng.shuffle(phys)
+            layout = phys[:n]
+
+        # Reverse-traversal refinement of the initial layout.
+        forward = circuit
+        backward = circuit.reversed()
+        current = layout
+        for p in range(self.passes - 1):
+            circ = forward if p % 2 == 0 else backward
+            _, final_layout = self._route(circ, current, rng, emit=False)
+            current = final_layout
+        ops_layout = current
+
+        builder, _ = self._route(forward, ops_layout, rng, emit=True)
+        mapped = builder.build(metadata={"mapper": self.name, "seed": self.seed, "passes": self.passes})
+        return mapped
+
+    # ------------------------------------------------------------------
+    def _route(
+        self,
+        circuit: Circuit,
+        initial_layout: Sequence[int],
+        rng: random.Random,
+        *,
+        emit: bool,
+    ) -> Tuple[Optional[MappingBuilder], List[int]]:
+        n = circuit.num_qubits
+        topo = self.topology
+        dist = self._dist
+        dag = _Dag.from_circuit(circuit)
+        gates = circuit.gates
+
+        builder = (
+            MappingBuilder(topo, initial_layout, num_logical=n, name=self.name)
+            if emit
+            else None
+        )
+        # local layout tracking (kept even when emitting, for speed)
+        log_to_phys = list(initial_layout)
+        phys_to_log: Dict[int, int] = {p: l for l, p in enumerate(initial_layout)}
+
+        indegree = list(dag.indegree)
+        front: Set[int] = {i for i, d in enumerate(indegree) if d == 0}
+        decay = np.ones(topo.num_qubits)
+        swaps_since_reset = 0
+
+        def gate_executable(idx: int) -> bool:
+            g = gates[idx]
+            if not g.is_two_qubit:
+                return True
+            a, b = g.qubits
+            return topo.has_edge(log_to_phys[a], log_to_phys[b])
+
+        def execute(idx: int) -> None:
+            g = gates[idx]
+            if emit:
+                if g.kind == GateKind.H:
+                    builder.h(log_to_phys[g.qubits[0]], tag="sabre")
+                elif g.kind == GateKind.RZ:
+                    builder.rz(log_to_phys[g.qubits[0]], g.angle, tag="sabre")
+                elif g.kind == GateKind.CPHASE:
+                    a, b = g.qubits
+                    builder.cphase(log_to_phys[a], log_to_phys[b], g.angle, tag="sabre")
+                elif g.kind == GateKind.CNOT:
+                    a, b = g.qubits
+                    builder.cnot(log_to_phys[a], log_to_phys[b], tag="sabre")
+                elif g.kind == GateKind.SWAP:
+                    a, b = g.qubits
+                    builder.swap(log_to_phys[a], log_to_phys[b], tag="sabre")
+                else:  # pragma: no cover - defensive
+                    raise ValueError(f"unsupported gate kind {g.kind!r}")
+            if g.kind == GateKind.SWAP:
+                a, b = g.qubits
+                pa, pb = log_to_phys[a], log_to_phys[b]
+                log_to_phys[a], log_to_phys[b] = pb, pa
+                phys_to_log[pa], phys_to_log[pb] = b, a
+            front.discard(idx)
+            for succ in dag.successors[idx]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    front.add(succ)
+
+        def apply_swap(pa: int, pb: int) -> None:
+            if emit:
+                builder.swap(pa, pb, tag="sabre-swap")
+            la = phys_to_log.get(pa)
+            lb = phys_to_log.get(pb)
+            if la is not None:
+                log_to_phys[la] = pb
+            if lb is not None:
+                log_to_phys[lb] = pa
+            if la is not None:
+                phys_to_log[pb] = la
+            elif pb in phys_to_log:
+                del phys_to_log[pb]
+            if lb is not None:
+                phys_to_log[pa] = lb
+            elif pa in phys_to_log:
+                del phys_to_log[pa]
+
+        def extended_set(front_2q: List[int]) -> List[int]:
+            out: List[int] = []
+            frontier = list(front_2q)
+            seen = set(front_2q)
+            while frontier and len(out) < self.extended_set_size:
+                nxt: List[int] = []
+                for g in frontier:
+                    for s in dag.successors[g]:
+                        if s in seen:
+                            continue
+                        seen.add(s)
+                        if gates[s].is_two_qubit:
+                            out.append(s)
+                            if len(out) >= self.extended_set_size:
+                                break
+                        nxt.append(s)
+                    if len(out) >= self.extended_set_size:
+                        break
+                frontier = nxt
+            return out
+
+        def heuristic(front_2q: List[int], ext: List[int], pa: int, pb: int) -> float:
+            # Score the layout obtained by swapping (pa, pb).
+            la = phys_to_log.get(pa)
+            lb = phys_to_log.get(pb)
+
+            def phys_of(lq: int) -> int:
+                p = log_to_phys[lq]
+                if p == pa:
+                    return pb
+                if p == pb:
+                    return pa
+                return p
+
+            s_front = 0.0
+            for g in front_2q:
+                a, b = gates[g].qubits
+                s_front += dist[phys_of(a), phys_of(b)]
+            s_front /= max(1, len(front_2q))
+            s_ext = 0.0
+            if ext:
+                for g in ext:
+                    a, b = gates[g].qubits
+                    s_ext += dist[phys_of(a), phys_of(b)]
+                s_ext = self.extended_set_weight * s_ext / len(ext)
+            return max(decay[pa], decay[pb]) * (s_front + s_ext)
+
+        # Main routing loop -------------------------------------------------
+        guard = 0
+        max_iterations = 50 * (len(gates) + 1) + 10_000
+        while front:
+            guard += 1
+            if guard > max_iterations:  # pragma: no cover - safety net
+                raise RuntimeError("SABRE routing did not converge")
+
+            executed_any = True
+            while executed_any:
+                executed_any = False
+                for idx in sorted(front):
+                    if gate_executable(idx):
+                        execute(idx)
+                        executed_any = True
+            if not front:
+                break
+
+            front_2q = [i for i in sorted(front) if gates[i].is_two_qubit]
+            if not front_2q:
+                # only blocked single-qubit gates cannot happen (they are
+                # always executable); defensive guard
+                raise RuntimeError("SABRE front layer contains no 2-qubit gate")
+
+            ext = extended_set(front_2q)
+            candidates: Set[Tuple[int, int]] = set()
+            for g in front_2q:
+                for lq in gates[g].qubits:
+                    p = log_to_phys[lq]
+                    for nb in topo.neighbors(p):
+                        candidates.add((p, nb) if p < nb else (nb, p))
+            best_score = None
+            best_swaps: List[Tuple[int, int]] = []
+            for pa, pb in sorted(candidates):
+                score = heuristic(front_2q, ext, pa, pb)
+                if best_score is None or score < best_score - 1e-12:
+                    best_score = score
+                    best_swaps = [(pa, pb)]
+                elif abs(score - best_score) <= 1e-12:
+                    best_swaps.append((pa, pb))
+            pa, pb = rng.choice(best_swaps)
+            apply_swap(pa, pb)
+            swaps_since_reset += 1
+            decay[pa] += self.decay_delta
+            decay[pb] += self.decay_delta
+            if swaps_since_reset >= self.decay_reset_interval:
+                decay[:] = 1.0
+                swaps_since_reset = 0
+
+        final_layout = list(log_to_phys)
+        return builder, final_layout

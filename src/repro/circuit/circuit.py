@@ -1,0 +1,145 @@
+"""Device-independent (logical) quantum circuits.
+
+A :class:`Circuit` is an ordered list of :class:`~repro.circuit.gates.Gate`
+objects over ``n`` logical qubits.  It is deliberately minimal -- the paper's
+pipeline only needs:
+
+* building the QFT kernel (``repro.circuit.qft``),
+* building its dependence DAG under the strict / relaxed ordering rules
+  (``repro.circuit.dag``),
+* feeding baseline compilers (SABRE, SATMAP) that consume arbitrary circuits,
+* replaying mapped circuits on a statevector for verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .gates import CNOT, CPHASE, H, RZ, SWAP, Gate, GateKind
+
+__all__ = ["Circuit"]
+
+
+@dataclass
+class Circuit:
+    """An ordered logical circuit over ``num_qubits`` qubits."""
+
+    num_qubits: int
+    gates: List[Gate] = field(default_factory=list)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_qubits <= 0:
+            raise ValueError("Circuit needs at least one qubit")
+        for g in self.gates:
+            self._check_gate(g)
+
+    # -- construction ------------------------------------------------------
+    def _check_gate(self, gate: Gate) -> None:
+        for q in gate.qubits:
+            if not (0 <= q < self.num_qubits):
+                raise ValueError(
+                    f"gate {gate} uses qubit {q} outside range [0, {self.num_qubits})"
+                )
+
+    def append(self, gate: Gate) -> "Circuit":
+        """Append ``gate`` (validated) and return ``self`` for chaining."""
+
+        self._check_gate(gate)
+        self.gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        for g in gates:
+            self.append(g)
+        return self
+
+    def h(self, q: int) -> "Circuit":
+        return self.append(H(q))
+
+    def cphase(self, a: int, b: int, angle: Optional[float] = None) -> "Circuit":
+        return self.append(CPHASE(a, b, angle))
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.append(SWAP(a, b))
+
+    def cnot(self, c: int, t: int) -> "Circuit":
+        return self.append(CNOT(c, t))
+
+    def rz(self, q: int, angle: float) -> "Circuit":
+        return self.append(RZ(q, angle))
+
+    # -- inspection --------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __getitem__(self, idx: int) -> Gate:
+        return self.gates[idx]
+
+    def count(self, kind: str) -> int:
+        """Number of gates of the given kind."""
+
+        return sum(1 for g in self.gates if g.kind == kind)
+
+    def two_qubit_gates(self) -> List[Gate]:
+        return [g for g in self.gates if g.is_two_qubit]
+
+    def qubits_used(self) -> Tuple[int, ...]:
+        used = sorted({q for g in self.gates for q in g.qubits})
+        return tuple(used)
+
+    def depth(self) -> int:
+        """Logical circuit depth (greedy per-qubit ASAP layering)."""
+
+        busy_until = [0] * self.num_qubits
+        depth = 0
+        for g in self.gates:
+            start = max(busy_until[q] for q in g.qubits)
+            end = start + 1
+            for q in g.qubits:
+                busy_until[q] = end
+            depth = max(depth, end)
+        return depth
+
+    def interaction_pairs(self) -> set:
+        """Set of unordered logical pairs touched by two-qubit gates."""
+
+        return {g.sorted_qubits() for g in self.gates if g.is_two_qubit}
+
+    # -- transformation ----------------------------------------------------
+    def copy(self) -> "Circuit":
+        return Circuit(self.num_qubits, list(self.gates), self.name)
+
+    def remapped(self, mapping: Sequence[int]) -> "Circuit":
+        """Return a copy with logical qubit ``q`` relabelled to ``mapping[q]``."""
+
+        if len(mapping) != self.num_qubits:
+            raise ValueError("mapping length must equal num_qubits")
+        table = {q: mapping[q] for q in range(self.num_qubits)}
+        out = Circuit(self.num_qubits, name=self.name)
+        for g in self.gates:
+            out.append(g.on(table))
+        return out
+
+    def reversed(self) -> "Circuit":
+        """Gates in reverse order (used by SABRE's bidirectional passes)."""
+
+        return Circuit(self.num_qubits, list(reversed(self.gates)), self.name + "_rev")
+
+    def without(self, kinds: Iterable[str]) -> "Circuit":
+        drop = set(kinds)
+        return Circuit(
+            self.num_qubits,
+            [g for g in self.gates if g.kind not in drop],
+            self.name,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        head = f"Circuit(n={self.num_qubits}, gates={len(self.gates)}"
+        if self.name:
+            head += f", name={self.name!r}"
+        return head + ")"

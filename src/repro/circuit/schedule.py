@@ -1,0 +1,323 @@
+"""Mapped (hardware) circuits and their scheduling/metric model.
+
+A mapper's output is a :class:`MappedCircuit`: an ordered stream of
+:class:`~repro.circuit.gates.Op` objects over *physical* qubits, together with
+the initial logical->physical layout.  The stream order is a valid execution
+order (a topological order of the hardware dependences); parallelism is
+recovered by ASAP scheduling.
+
+Depth model
+-----------
+The paper measures circuit *depth* in cycles.  On NISQ backends every gate
+(H, CPHASE, SWAP) costs one cycle.  On the lattice-surgery FT backend gate
+latencies are heterogeneous (Section 2.3): a SWAP on a "fast" (green) link has
+depth 2, a SWAP on a CNOT-only link costs 3 CNOTs = depth 6, and a CNOT/CPHASE
+costs depth 2 on any link.  The latency of each op is supplied by the
+topology's ``op_latency`` method, so the same ASAP scheduler produces both the
+uniform NISQ depth and the weighted FT depth.
+
+:class:`MappingBuilder` is the convenience layer used by every mapper: it
+tracks the logical<->physical correspondence as SWAPs are emitted and stamps
+each op with the logical qubits involved, which is what makes verification
+(and logical replay on a statevector) straightforward.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .gates import GateKind, Op, count_kinds
+
+__all__ = ["MappedCircuit", "MappingBuilder", "asap_layers", "asap_depth"]
+
+
+def asap_depth(ops: Sequence[Op], latency_fn) -> int:
+    """Weighted ASAP depth of an op stream.
+
+    ``latency_fn(op) -> int`` supplies per-op latency.  Each op starts at the
+    max busy-time of its qubits and occupies them for its latency; the depth is
+    the max finish time over all qubits.
+    """
+
+    busy: Dict[int, int] = {}
+    fence = 0
+    depth = 0
+    for op in ops:
+        if op.kind == GateKind.BARRIER:
+            # A barrier is a global fence: nothing after it may start before
+            # everything before it has finished.
+            if busy:
+                fence = max(fence, max(busy.values()))
+            continue
+        start = max((busy.get(q, fence) for q in op.physical), default=fence)
+        start = max(start, fence)
+        end = start + latency_fn(op)
+        for q in op.physical:
+            busy[q] = end
+        if end > depth:
+            depth = end
+    return depth
+
+
+def asap_layers(ops: Sequence[Op]) -> List[List[Op]]:
+    """Unit-latency ASAP layering (each layer holds qubit-disjoint ops)."""
+
+    busy: Dict[int, int] = {}
+    fence = 0
+    layers: List[List[Op]] = []
+    for op in ops:
+        if op.kind == GateKind.BARRIER:
+            if busy:
+                fence = max(fence, max(busy.values()))
+            continue
+        start = max((busy.get(q, fence) for q in op.physical), default=fence)
+        start = max(start, fence)
+        while len(layers) <= start:
+            layers.append([])
+        layers[start].append(op)
+        for q in op.physical:
+            busy[q] = start + 1
+    return layers
+
+
+@dataclass
+class MappedCircuit:
+    """A hardware-compliant circuit produced by a mapper.
+
+    Attributes
+    ----------
+    topology:
+        The :class:`repro.arch.topology.Topology` the circuit targets.
+    num_logical:
+        Number of logical (program) qubits.
+    initial_layout:
+        ``initial_layout[logical] = physical`` placement before the first gate.
+    ops:
+        Ordered op stream (a valid sequential execution order).
+    name:
+        Optional provenance string (mapper name).
+    metadata:
+        Free-form dict for mapper-specific extras (e.g. fallback statistics).
+    """
+
+    topology: object
+    num_logical: int
+    initial_layout: List[int]
+    ops: List[Op] = field(default_factory=list)
+    name: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- basic counters ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def gate_counts(self) -> Dict[str, int]:
+        return count_kinds(self.ops)
+
+    def swap_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind == GateKind.SWAP)
+
+    def cphase_count(self) -> int:
+        return sum(1 for op in self.ops if op.kind == GateKind.CPHASE)
+
+    def two_qubit_count(self) -> int:
+        return sum(1 for op in self.ops if op.is_two_qubit)
+
+    # -- depth ----------------------------------------------------------
+    def depth(self) -> int:
+        """Latency-weighted depth using the topology's cost model."""
+
+        return asap_depth(self.ops, self.topology.op_latency)
+
+    def unit_depth(self) -> int:
+        """Depth with every op costing one cycle (NISQ-style counting)."""
+
+        return asap_depth(self.ops, lambda op: 1)
+
+    def layers(self) -> List[List[Op]]:
+        return asap_layers(self.ops)
+
+    # -- layouts ----------------------------------------------------------
+    def final_layout(self) -> List[int]:
+        """Logical->physical layout after all SWAPs have been applied."""
+
+        layout = list(self.initial_layout)
+        phys_to_log = {p: l for l, p in enumerate(layout)}
+        for op in self.ops:
+            if op.kind != GateKind.SWAP:
+                continue
+            a, b = op.physical
+            la = phys_to_log.get(a)
+            lb = phys_to_log.get(b)
+            phys_to_log[a], phys_to_log[b] = lb, la
+            if lb is not None:
+                layout[lb] = a
+            if la is not None:
+                layout[la] = b
+        return layout
+
+    def logical_events(self) -> List[Tuple[str, Tuple[int, ...]]]:
+        """Project the op stream onto logical qubits for verification.
+
+        SWAPs vanish (they are identity on the logical state up to relabelling
+        which the builder already folded into ``logical`` stamps); every other
+        op is reported with its logical operands, in execution order.
+        """
+
+        events: List[Tuple[str, Tuple[int, ...]]] = []
+        for op in self.ops:
+            if op.kind in (GateKind.SWAP, GateKind.BARRIER):
+                continue
+            events.append((op.kind, op.logical))
+        return events
+
+    def logical_gate_events(self) -> List[Tuple[str, Tuple[int, ...], Optional[float]]]:
+        """Like :meth:`logical_events` but including the gate angle.
+
+        This is the form consumed by the statevector simulator when replaying
+        a mapped circuit on the logical state.
+        """
+
+        events: List[Tuple[str, Tuple[int, ...], Optional[float]]] = []
+        for op in self.ops:
+            if op.kind in (GateKind.SWAP, GateKind.BARRIER):
+                continue
+            events.append((op.kind, op.logical, op.angle))
+        return events
+
+    def swaps_by_tag(self) -> Dict[str, int]:
+        """SWAP count grouped by the provenance tag (used by ablations)."""
+
+        out: Dict[str, int] = {}
+        for op in self.ops:
+            if op.kind == GateKind.SWAP:
+                out[op.tag] = out.get(op.tag, 0) + 1
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MappedCircuit(name={self.name!r}, n={self.num_logical}, "
+            f"ops={len(self.ops)}, swaps={self.swap_count()})"
+        )
+
+
+class MappingBuilder:
+    """Helper that mappers use to emit ops while tracking the layout.
+
+    The builder maintains the bijection between logical qubits and the
+    physical qubits they currently occupy.  Ops are emitted against *physical*
+    indices; the builder stamps the resident logical qubits automatically and
+    validates coupling-graph adjacency for two-qubit ops as they are emitted,
+    so a buggy mapper fails fast instead of producing an invalid circuit.
+    """
+
+    def __init__(
+        self,
+        topology,
+        initial_layout: Sequence[int],
+        num_logical: Optional[int] = None,
+        name: str = "",
+        check_adjacency: bool = True,
+    ) -> None:
+        self.topology = topology
+        self.num_logical = num_logical if num_logical is not None else len(initial_layout)
+        if len(set(initial_layout)) != len(initial_layout):
+            raise ValueError("initial layout maps two logical qubits to one physical qubit")
+        for p in initial_layout:
+            if not (0 <= p < topology.num_qubits):
+                raise ValueError(f"initial layout uses physical qubit {p} outside topology")
+        self.log_to_phys: List[int] = list(initial_layout)
+        self.phys_to_log: Dict[int, int] = {p: l for l, p in enumerate(initial_layout)}
+        self.initial_layout: List[int] = list(initial_layout)
+        self.ops: List[Op] = []
+        self.name = name
+        self.check_adjacency = check_adjacency
+
+    # -- queries -----------------------------------------------------------
+    def logical_at(self, phys: int) -> Optional[int]:
+        """Logical qubit currently at physical position ``phys`` (or None)."""
+
+        return self.phys_to_log.get(phys)
+
+    def phys_of(self, logical: int) -> int:
+        """Physical position currently holding logical qubit ``logical``."""
+
+        return self.log_to_phys[logical]
+
+    def are_adjacent(self, phys_a: int, phys_b: int) -> bool:
+        return self.topology.has_edge(phys_a, phys_b)
+
+    # -- emission ------------------------------------------------------
+    def _logical_pair(self, phys_a: int, phys_b: int) -> Tuple[int, int]:
+        la = self.phys_to_log.get(phys_a, -1)
+        lb = self.phys_to_log.get(phys_b, -1)
+        return la, lb
+
+    def _check_edge(self, phys_a: int, phys_b: int, kind: str) -> None:
+        if self.check_adjacency and not self.topology.has_edge(phys_a, phys_b):
+            raise ValueError(
+                f"{kind} emitted on non-adjacent physical qubits ({phys_a}, {phys_b})"
+            )
+
+    def h(self, phys: int, tag: str = "") -> Op:
+        logical = self.phys_to_log.get(phys, -1)
+        op = Op(GateKind.H, (phys,), (logical,), tag=tag)
+        self.ops.append(op)
+        return op
+
+    def rz(self, phys: int, angle: float, tag: str = "") -> Op:
+        logical = self.phys_to_log.get(phys, -1)
+        op = Op(GateKind.RZ, (phys,), (logical,), angle, tag=tag)
+        self.ops.append(op)
+        return op
+
+    def cphase(self, phys_a: int, phys_b: int, angle: float, tag: str = "") -> Op:
+        self._check_edge(phys_a, phys_b, "CPHASE")
+        la, lb = self._logical_pair(phys_a, phys_b)
+        op = Op(GateKind.CPHASE, (phys_a, phys_b), (la, lb), angle, tag=tag)
+        self.ops.append(op)
+        return op
+
+    def cnot(self, phys_c: int, phys_t: int, tag: str = "") -> Op:
+        self._check_edge(phys_c, phys_t, "CNOT")
+        lc, lt = self._logical_pair(phys_c, phys_t)
+        op = Op(GateKind.CNOT, (phys_c, phys_t), (lc, lt), tag=tag)
+        self.ops.append(op)
+        return op
+
+    def swap(self, phys_a: int, phys_b: int, tag: str = "") -> Op:
+        self._check_edge(phys_a, phys_b, "SWAP")
+        la, lb = self._logical_pair(phys_a, phys_b)
+        op = Op(GateKind.SWAP, (phys_a, phys_b), (la, lb), tag=tag)
+        self.ops.append(op)
+        # update tracking
+        if la != -1:
+            self.log_to_phys[la] = phys_b
+        if lb != -1:
+            self.log_to_phys[lb] = phys_a
+        if la != -1:
+            self.phys_to_log[phys_b] = la
+        elif phys_b in self.phys_to_log:
+            del self.phys_to_log[phys_b]
+        if lb != -1:
+            self.phys_to_log[phys_a] = lb
+        elif phys_a in self.phys_to_log:
+            del self.phys_to_log[phys_a]
+        return op
+
+    def barrier(self) -> Op:
+        op = Op(GateKind.BARRIER, (), ())
+        self.ops.append(op)
+        return op
+
+    # -- finish ----------------------------------------------------------
+    def build(self, metadata: Optional[Dict[str, object]] = None) -> MappedCircuit:
+        return MappedCircuit(
+            topology=self.topology,
+            num_logical=self.num_logical,
+            initial_layout=self.initial_layout,
+            ops=self.ops,
+            name=self.name,
+            metadata=metadata or {},
+        )

@@ -1,0 +1,144 @@
+"""Shared dependence bookkeeping for the constructive QFT mappers.
+
+Every mapper in :mod:`repro.core` tracks the same three pieces of state while
+it emits gates:
+
+* which logical qubits have received their Hadamard,
+* which logical pairs have received their CPHASE,
+* which pairs are still pending for a given qubit.
+
+:class:`QFTDependenceTracker` centralises that bookkeeping together with the
+*relaxed* (Type II) eligibility rules of Section 3.1:
+
+* ``H(q)`` may fire once every ``CPHASE(x, q)`` with ``x < q`` has fired,
+* ``CPHASE(a, b)`` (``a < b``) may fire once ``H(a)`` has fired (and before
+  ``H(b)``, which is guaranteed because ``H(b)`` cannot become eligible while
+  the pair is still pending).
+
+The tracker is deliberately independent of any physical placement so the same
+instance can be threaded through nested primitives (intra-unit QFT, inter-unit
+interactions, fix-ups, routed fallbacks) without double-counting gates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+__all__ = ["QFTDependenceTracker"]
+
+
+class QFTDependenceTracker:
+    """Tracks H / CPHASE progress for an ``n``-qubit QFT kernel."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("need at least one qubit")
+        self.n = n
+        self.h_done: List[bool] = [False] * n
+        # pending_smaller[q] = number of pending CPHASE(x, q) with x < q
+        self.pending_smaller: List[int] = list(range(n))
+        # pending_larger[q] = number of pending CPHASE(q, y) with y > q
+        self.pending_larger: List[int] = [n - 1 - q for q in range(n)]
+        self.pair_done: Set[Tuple[int, int]] = set()
+        self.total_pairs = n * (n - 1) // 2
+        self.pairs_completed = 0
+        self.h_completed = 0
+
+    # -- queries -----------------------------------------------------------
+    @staticmethod
+    def _norm(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a < b else (b, a)
+
+    def pair_is_done(self, a: int, b: int) -> bool:
+        return self._norm(a, b) in self.pair_done
+
+    def pair_is_pending(self, a: int, b: int) -> bool:
+        if a == b:
+            return False
+        return self._norm(a, b) not in self.pair_done
+
+    def can_h(self, q: int) -> bool:
+        """H(q) is eligible (all smaller-index interactions done, not yet H'd)."""
+
+        return not self.h_done[q] and self.pending_smaller[q] == 0
+
+    def can_cphase(self, a: int, b: int) -> bool:
+        """CPHASE(a, b) is eligible under the relaxed (Type II) rules."""
+
+        if a == b:
+            return False
+        lo, hi = self._norm(a, b)
+        if (lo, hi) in self.pair_done:
+            return False
+        return self.h_done[lo] and not self.h_done[hi]
+
+    def is_active(self, q: int) -> bool:
+        """A qubit is *active* once hadamarded and still owing interactions."""
+
+        return self.h_done[q] and self.pending_larger[q] > 0
+
+    def has_pending_pairs(self, q: int) -> bool:
+        return (self.pending_smaller[q] + self.pending_larger[q]) > 0
+
+    def pending_pairs(self) -> List[Tuple[int, int]]:
+        return [
+            (i, j)
+            for i in range(self.n)
+            for j in range(i + 1, self.n)
+            if (i, j) not in self.pair_done
+        ]
+
+    def pending_partners(self, q: int) -> List[int]:
+        return [
+            p
+            for p in range(self.n)
+            if p != q and self._norm(p, q) not in self.pair_done
+        ]
+
+    def all_done(self) -> bool:
+        return self.pairs_completed == self.total_pairs and self.h_completed == self.n
+
+    def all_pairs_done_within(self, qubits: Iterable[int]) -> bool:
+        qs = sorted(set(qubits))
+        for idx, a in enumerate(qs):
+            for b in qs[idx + 1 :]:
+                if (a, b) not in self.pair_done:
+                    return False
+        return True
+
+    # -- state updates ---------------------------------------------------
+    def mark_h(self, q: int) -> None:
+        if self.h_done[q]:
+            raise ValueError(f"H({q}) emitted twice")
+        if self.pending_smaller[q] != 0:
+            raise ValueError(
+                f"H({q}) emitted before its {self.pending_smaller[q]} smaller-index "
+                "interactions completed (Type II violation)"
+            )
+        self.h_done[q] = True
+        self.h_completed += 1
+
+    def mark_cphase(self, a: int, b: int) -> None:
+        lo, hi = self._norm(a, b)
+        if lo == hi:
+            raise ValueError("CPHASE needs two distinct qubits")
+        if (lo, hi) in self.pair_done:
+            raise ValueError(f"CPHASE({lo},{hi}) emitted twice")
+        if not self.h_done[lo]:
+            raise ValueError(f"CPHASE({lo},{hi}) emitted before H({lo}) (Type II violation)")
+        if self.h_done[hi]:
+            raise ValueError(f"CPHASE({lo},{hi}) emitted after H({hi}) (Type II violation)")
+        self.pair_done.add((lo, hi))
+        self.pairs_completed += 1
+        self.pending_larger[lo] -= 1
+        self.pending_smaller[hi] -= 1
+
+    # -- convenience -----------------------------------------------------
+    def progress(self) -> Tuple[int, int]:
+        return self.pairs_completed, self.total_pairs
+
+    def __str__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"QFTDependenceTracker(n={self.n}, pairs={self.pairs_completed}/"
+            f"{self.total_pairs}, h={self.h_completed}/{self.n})"
+        )

@@ -1,0 +1,219 @@
+"""Inter-unit QFT interactions (QFT-IE) between two adjacent unit lines.
+
+This implements the synced / offset travel-path patterns of Section 5 and
+Section 6 (discovered in the paper with program synthesis; re-derived by our
+synthesiser in :mod:`repro.synthesis.library` and verified by tests):
+
+* both unit lines run *unconditional* odd-even transposition SWAP layers, so
+  after ``L`` layers each line is reversed and -- crucially -- each qubit has
+  had every position-neighbour exactly once;
+* between SWAP layers, CPHASEs fire on every inter-unit link whose two
+  resident qubits still owe each other an interaction;
+* on Sycamore the two lines move **in sync** (``offset_b == offset_a``)
+  because the inter-unit links connect *different* columns (Fig. 13);
+* on the lattice-surgery / regular grid the links connect the *same* column,
+  so the second line starts **one step late** (``offset_b = offset_a + 1``,
+  Fig. 16 / Appendix 7) -- otherwise a qubit would face the same partner
+  forever;
+* pairs missed by the pattern (the "same column" pairs on Sycamore) are fixed
+  up with a constant number of shift / CPHASE / unshift rounds, exactly as
+  described at the end of Section 5.
+
+The relaxed variant fires a CPHASE as soon as the pair is available; the
+strict variant (QFT-IE-strict, kept for the ablation of Appendix 5/7) only
+fires a CPHASE when it is the next one in textbook order for *both* qubits,
+which roughly doubles the number of rounds needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..circuit.gates import qft_angle
+from ..circuit.schedule import MappingBuilder
+from .dependence import QFTDependenceTracker
+from .routed import complete_remaining
+
+__all__ = ["bipartite_all_to_all", "InterUnitStats"]
+
+
+InterUnitStats = Dict[str, int]
+
+
+def _residents(builder: MappingBuilder, line: Sequence[int]) -> List[int]:
+    out = []
+    for p in line:
+        lq = builder.logical_at(p)
+        if lq is not None and lq >= 0:
+            out.append(lq)
+    return out
+
+
+def _cross_pending(
+    tracker: QFTDependenceTracker, side_a: Iterable[int], side_b: Iterable[int]
+) -> Set[Tuple[int, int]]:
+    sa, sb = set(side_a), set(side_b)
+    pend: Set[Tuple[int, int]] = set()
+    for x in sa:
+        for y in sb:
+            if x != y and tracker.pair_is_pending(x, y):
+                pend.add((x, y) if x < y else (y, x))
+    return pend
+
+
+def _strict_ready(
+    tracker: QFTDependenceTracker,
+    x: int,
+    y: int,
+    side_of: Dict[int, int],
+    side_members: Tuple[List[int], List[int]],
+) -> bool:
+    """Textbook (Type I) readiness of cross pair (x, y): every cross partner of
+    ``x`` with a smaller index than ``y`` (on the other side) must be done, and
+    symmetrically for ``y``."""
+
+    other_of_x = side_members[1 - side_of[x]]
+    for y2 in other_of_x:
+        if y2 < y and tracker.pair_is_pending(x, y2):
+            return False
+    other_of_y = side_members[1 - side_of[y]]
+    for x2 in other_of_y:
+        if x2 < x and tracker.pair_is_pending(x2, y):
+            return False
+    return True
+
+
+def bipartite_all_to_all(
+    builder: MappingBuilder,
+    tracker: QFTDependenceTracker,
+    line_a: Sequence[int],
+    line_b: Sequence[int],
+    inter_links: Sequence[Tuple[int, int]],
+    *,
+    offset_a: int = 0,
+    offset_b: int = 0,
+    rounds: Optional[int] = None,
+    strict: bool = False,
+    fixup: bool = True,
+    allow_fallback: bool = True,
+    tag: str = "ie",
+) -> InterUnitStats:
+    """Run all pending CPHASEs between the residents of two adjacent unit lines.
+
+    Parameters
+    ----------
+    line_a, line_b:
+        Physical paths holding the two units.
+    inter_links:
+        Positional links ``(index in line_a, index in line_b)`` whose physical
+        endpoints are coupled; only these are used for inter-unit CPHASEs.
+    offset_a, offset_b:
+        Starting parities of the two lines' unconditional SWAP layers.
+    rounds:
+        Number of movement rounds (default ``len(line) + 1``); the strict
+        variant automatically doubles this.
+    strict:
+        Use QFT-IE-strict ordering instead of QFT-IE-relaxed.
+    fixup:
+        Run the constant-depth shift/CPHASE/unshift fix-up rounds for pairs the
+        travel pattern misses (e.g. same-column pairs on Sycamore).
+    allow_fallback:
+        Finish any still-missing pairs with routed completion (recorded in the
+        returned stats; zero on the architectures of the paper).
+    """
+
+    La, Lb = len(line_a), len(line_b)
+    for a, b in zip(line_a, line_a[1:]):
+        if not builder.topology.has_edge(a, b):
+            raise ValueError("line_a is not a coupled path")
+    for a, b in zip(line_b, line_b[1:]):
+        if not builder.topology.has_edge(a, b):
+            raise ValueError("line_b is not a coupled path")
+    for ia, ib in inter_links:
+        if not (0 <= ia < La and 0 <= ib < Lb):
+            raise ValueError(f"inter link ({ia}, {ib}) out of range")
+        if not builder.topology.has_edge(line_a[ia], line_b[ib]):
+            raise ValueError(
+                f"inter link positions ({ia}, {ib}) are not coupled physically"
+            )
+
+    side_a = _residents(builder, line_a)
+    side_b = _residents(builder, line_b)
+    targets = _cross_pending(tracker, side_a, side_b)
+    stats: InterUnitStats = {
+        "target_pairs": len(targets),
+        "pattern_rounds": 0,
+        "swap_layers": 0,
+        "fixup_rounds": 0,
+        "fallback_swaps": 0,
+        "missed_after_pattern": 0,
+    }
+    if not targets:
+        return stats
+
+    side_of = {q: 0 for q in side_a}
+    side_of.update({q: 1 for q in side_b})
+    side_members = (sorted(side_a), sorted(side_b))
+
+    if rounds is None:
+        rounds = max(La, Lb) + 1
+    if strict:
+        rounds *= 2
+
+    def cphase_pass() -> None:
+        for ia, ib in inter_links:
+            pa, pb = line_a[ia], line_b[ib]
+            x = builder.logical_at(pa)
+            y = builder.logical_at(pb)
+            if x is None or y is None or x < 0 or y < 0:
+                continue
+            lo, hi = (x, y) if x < y else (y, x)
+            if (lo, hi) not in targets or not tracker.pair_is_pending(lo, hi):
+                continue
+            if not tracker.can_cphase(lo, hi):
+                continue
+            if strict and not _strict_ready(tracker, x, y, side_of, side_members):
+                continue
+            builder.cphase(pa, pb, qft_angle(lo, hi), tag=tag)
+            tracker.mark_cphase(lo, hi)
+
+    def remaining() -> Set[Tuple[int, int]]:
+        return {p for p in targets if tracker.pair_is_pending(*p)}
+
+    def swap_layer(line: Sequence[int], parity: int, swap_tag: str) -> None:
+        for p in range(parity % 2, len(line) - 1, 2):
+            builder.swap(line[p], line[p + 1], tag=swap_tag)
+
+    # -- main travel pattern -----------------------------------------------
+    for t in range(rounds + 1):
+        cphase_pass()
+        stats["pattern_rounds"] = t + 1
+        if not remaining():
+            break
+        if t < rounds:
+            swap_layer(line_a, t + offset_a, tag)
+            swap_layer(line_b, t + offset_b, tag)
+            stats["swap_layers"] += 2
+
+    stats["missed_after_pattern"] = len(remaining())
+
+    # -- constant-depth structured fix-up ----------------------------------
+    if fixup and remaining():
+        for side_line, parity in ((line_a, 0), (line_b, 0), (line_a, 1), (line_b, 1)):
+            if not remaining():
+                break
+            swap_layer(side_line, parity, tag + "-fixup")
+            cphase_pass()
+            swap_layer(side_line, parity, tag + "-fixup")
+            stats["fixup_rounds"] += 1
+            stats["swap_layers"] += 2
+
+    # -- guaranteed completion ----------------------------------------------
+    left = remaining()
+    if left and allow_fallback:
+        stats["fallback_swaps"] = complete_remaining(builder, tracker, left, tag=tag + "-fallback")
+    elif left:
+        raise RuntimeError(
+            f"inter-unit interaction left {len(left)} pairs incomplete and fallback is disabled"
+        )
+    return stats

@@ -1,0 +1,73 @@
+"""Linear-depth QFT mapper for the LNN (line) architecture.
+
+This is the base case of the paper's framework (Section 2.2): on a line of
+``N`` qubits the QFT kernel maps to a hardware circuit of depth ``4N + O(1)``
+with ``N(N-1)/2`` CPHASE gates and roughly ``N(N-1)/2`` SWAPs, and the final
+placement is the reversal of the initial one.
+
+The mapper also accepts an explicit physical ``line`` through an arbitrary
+topology, which is how the "LNN on a Hamiltonian path" baseline of the
+lattice-surgery evaluation (Fig. 19) reuses it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..arch.lnn import LNNTopology
+from ..arch.topology import Topology
+from ..circuit.schedule import MappedCircuit, MappingBuilder
+from .cascade import cascade_on_line
+from .dependence import QFTDependenceTracker
+
+__all__ = ["LNNQFTMapper", "map_qft_on_line"]
+
+
+def map_qft_on_line(
+    topology: Topology,
+    line: Sequence[int],
+    num_qubits: Optional[int] = None,
+    *,
+    name: str = "lnn-cascade",
+) -> MappedCircuit:
+    """Map an ``n``-qubit QFT onto the physical path ``line`` of ``topology``.
+
+    Logical qubit ``i`` starts at ``line[i]``.  ``num_qubits`` defaults to the
+    length of the line.
+    """
+
+    n = num_qubits if num_qubits is not None else len(line)
+    if n > len(line):
+        raise ValueError("more logical qubits than positions on the line")
+    layout = list(line[:n])
+    builder = MappingBuilder(topology, layout, num_logical=n, name=name)
+    tracker = QFTDependenceTracker(n)
+    stats = cascade_on_line(builder, tracker, line[:n], tag="lnn")
+    if not tracker.all_done():
+        raise RuntimeError("LNN cascade finished without completing the kernel")
+    return builder.build(metadata={"mapper": name, **stats})
+
+
+class LNNQFTMapper:
+    """QFT mapper for :class:`~repro.arch.lnn.LNNTopology` (or any explicit line)."""
+
+    name = "our-lnn"
+
+    def __init__(self, topology: Topology, line: Optional[Sequence[int]] = None) -> None:
+        self.topology = topology
+        if line is not None:
+            self.line: List[int] = list(line)
+        elif isinstance(topology, LNNTopology):
+            self.line = topology.line_order()
+        elif hasattr(topology, "serpentine_order"):
+            self.line = list(topology.serpentine_order())
+        else:
+            raise ValueError(
+                "topology has no obvious line; pass an explicit `line` of physical qubits"
+            )
+        for a, b in zip(self.line, self.line[1:]):
+            if not topology.has_edge(a, b):
+                raise ValueError(f"line entries {a} and {b} are not coupled")
+
+    def map_qft(self, num_qubits: Optional[int] = None) -> MappedCircuit:
+        return map_qft_on_line(self.topology, self.line, num_qubits, name=self.name)

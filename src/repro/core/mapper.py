@@ -1,0 +1,61 @@
+"""Facade: pick the right domain-specific QFT mapper for a topology.
+
+``compile_qft(topology)`` is the one-call public entry point used by the
+examples, the evaluation harness and most tests.  It dispatches on the
+architecture type (exactly as the paper's framework does -- the construction
+differs per backend but the interface is uniform) and returns a verified-by
+-construction :class:`~repro.circuit.schedule.MappedCircuit`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch.grid import GridTopology
+from ..arch.heavy_hex import CaterpillarTopology, HeavyHexTopology
+from ..arch.lattice_surgery import LatticeSurgeryTopology
+from ..arch.lnn import LNNTopology
+from ..arch.sycamore import SycamoreTopology
+from ..arch.topology import Topology
+from ..circuit.schedule import MappedCircuit
+from .heavy_hex_mapper import HeavyHexQFTMapper
+from .lattice_surgery_mapper import GridQFTMapper, LatticeSurgeryQFTMapper
+from .lnn_mapper import LNNQFTMapper
+from .routed import GreedyRouterMapper
+from .sycamore_mapper import SycamoreQFTMapper
+
+__all__ = ["compile_qft", "mapper_for"]
+
+
+def mapper_for(topology: Topology, *, strict_ie: bool = False):
+    """Return the domain-specific mapper instance for ``topology``."""
+
+    if isinstance(topology, LNNTopology):
+        return LNNQFTMapper(topology)
+    if isinstance(topology, (CaterpillarTopology, HeavyHexTopology)):
+        return HeavyHexQFTMapper(topology)
+    if isinstance(topology, SycamoreTopology):
+        return SycamoreQFTMapper(topology, strict_ie=strict_ie)
+    if isinstance(topology, LatticeSurgeryTopology):
+        return LatticeSurgeryQFTMapper(topology, strict_ie=strict_ie)
+    if isinstance(topology, GridTopology):
+        return GridQFTMapper(topology, strict_ie=strict_ie)
+    # Unknown architecture: fall back to the naive-but-correct router.
+    return GreedyRouterMapper(topology)
+
+
+def compile_qft(
+    topology: Topology,
+    num_qubits: Optional[int] = None,
+    *,
+    strict_ie: bool = False,
+) -> MappedCircuit:
+    """Compile an ``n``-qubit QFT kernel for ``topology``.
+
+    ``num_qubits`` defaults to the full device size (the paper always maps a
+    QFT as large as the patch).  ``strict_ie=True`` selects the QFT-IE-strict
+    inter-unit schedules, kept only for the relaxed-vs-strict ablation.
+    """
+
+    mapper = mapper_for(topology, strict_ie=strict_ie)
+    return mapper.map_qft(num_qubits)

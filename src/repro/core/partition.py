@@ -1,0 +1,48 @@
+"""Helpers tying the k-partition framework (Section 3.2) to hardware units.
+
+The logical-level partition machinery lives in :mod:`repro.circuit.qft`
+(:class:`~repro.circuit.qft.PartitionRange`, :func:`~repro.circuit.qft.qft_partitioned`).
+This module derives the partition that a unit-based mapper implicitly uses for
+a given architecture, so that tests and examples can demonstrate the
+correctness argument of Section 3.2 end-to-end:
+
+    textbook QFT  ==  partitioned QFT (same gates, reordered)
+                  ==  what the unit-based hardware mapper executes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..arch.grid import GridTopology
+from ..arch.lattice_surgery import LatticeSurgeryTopology
+from ..arch.sycamore import SycamoreTopology
+from ..circuit.circuit import Circuit
+from ..circuit.qft import PartitionRange, qft_partitioned
+
+__all__ = ["unit_partition_for", "partitioned_qft_for"]
+
+
+def unit_partition_for(topology) -> PartitionRange:
+    """The consecutive-qubit partition induced by a topology's unit structure.
+
+    * Sycamore: one unit per pair of rows (``2m`` qubits each),
+    * lattice surgery / regular grid: one unit per row (``cols`` qubits each),
+    * anything else: a single unit (no partition).
+    """
+
+    n = topology.num_qubits
+    if isinstance(topology, SycamoreTopology):
+        sizes = [topology.unit_size] * topology.num_units
+        return PartitionRange.from_sizes(sizes)
+    if isinstance(topology, (LatticeSurgeryTopology, GridTopology)):
+        sizes = [topology.cols] * topology.rows
+        return PartitionRange.from_sizes(sizes)
+    return PartitionRange(0, n)
+
+
+def partitioned_qft_for(topology, *, relaxed_ie: bool = False) -> Circuit:
+    """The logical k-partition QFT circuit matching a topology's units."""
+
+    part = unit_partition_for(topology)
+    return qft_partitioned(topology.num_qubits, part, relaxed_ie=relaxed_ie)

@@ -1,0 +1,43 @@
+"""Evaluation harness: workloads, runners and experiment definitions."""
+
+from .metrics import CompilationResult, result_from_mapped
+from .runners import APPROACHES, architecture_label, make_architecture, run_cell
+from .tables import format_results, format_series, format_table
+from .experiments import (
+    PAPER,
+    QUICK,
+    Profile,
+    experiment_figure17_heavyhex,
+    experiment_figure18_sycamore,
+    experiment_figure19_lattice,
+    experiment_figure27_sabre_randomness,
+    experiment_linearity,
+    experiment_partition_ablation,
+    experiment_relaxed_vs_strict,
+    experiment_table1,
+    run_all,
+)
+
+__all__ = [
+    "CompilationResult",
+    "result_from_mapped",
+    "APPROACHES",
+    "architecture_label",
+    "make_architecture",
+    "run_cell",
+    "format_results",
+    "format_series",
+    "format_table",
+    "PAPER",
+    "QUICK",
+    "Profile",
+    "experiment_figure17_heavyhex",
+    "experiment_figure18_sycamore",
+    "experiment_figure19_lattice",
+    "experiment_figure27_sabre_randomness",
+    "experiment_linearity",
+    "experiment_partition_ablation",
+    "experiment_relaxed_vs_strict",
+    "experiment_table1",
+    "run_all",
+]

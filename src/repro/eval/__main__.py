@@ -1,0 +1,12 @@
+"""``python -m repro.eval`` — alias for the experiment CLI.
+
+Equivalent to ``python -m repro.eval.experiments``; see that module for the
+available experiments and profiles.
+"""
+
+import sys
+
+from .experiments import main
+
+if __name__ == "__main__":
+    sys.exit(main())

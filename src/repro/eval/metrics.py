@@ -1,0 +1,84 @@
+"""Result records and metric extraction for the evaluation harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..circuit.schedule import MappedCircuit
+
+__all__ = ["CompilationResult", "result_from_mapped"]
+
+
+@dataclass
+class CompilationResult:
+    """One cell of a results table: an (approach, architecture, size) triple.
+
+    ``status`` is ``"ok"``, ``"timeout"`` (the paper's TLE) or ``"skipped"``
+    (size above the harness cap for that approach).  Metric fields are ``None``
+    unless ``status == "ok"``.
+    """
+
+    approach: str
+    architecture: str
+    num_qubits: int
+    status: str = "ok"
+    depth: Optional[int] = None
+    unit_depth: Optional[int] = None
+    swap_count: Optional[int] = None
+    cphase_count: Optional[int] = None
+    total_ops: Optional[int] = None
+    compile_time_s: Optional[float] = None
+    verified: Optional[bool] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def depth_per_qubit(self) -> Optional[float]:
+        if self.depth is None or self.num_qubits == 0:
+            return None
+        return self.depth / self.num_qubits
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "approach": self.approach,
+            "architecture": self.architecture,
+            "qubits": self.num_qubits,
+            "status": self.status,
+            "depth": self.depth if self.depth is not None else "-",
+            "swaps": self.swap_count if self.swap_count is not None else "-",
+            "cphase": self.cphase_count if self.cphase_count is not None else "-",
+            "compile_s": (
+                f"{self.compile_time_s:.2f}" if self.compile_time_s is not None else "-"
+            ),
+            "verified": self.verified if self.verified is not None else "-",
+        }
+
+
+def result_from_mapped(
+    approach: str,
+    architecture: str,
+    mapped: MappedCircuit,
+    compile_time_s: float,
+    verified: Optional[bool] = None,
+) -> CompilationResult:
+    """Build a :class:`CompilationResult` from a mapped circuit."""
+
+    return CompilationResult(
+        approach=approach,
+        architecture=architecture,
+        num_qubits=mapped.num_logical,
+        status="ok",
+        depth=mapped.depth(),
+        unit_depth=mapped.unit_depth(),
+        swap_count=mapped.swap_count(),
+        cphase_count=mapped.cphase_count(),
+        total_ops=len(mapped.ops),
+        compile_time_s=compile_time_s,
+        verified=verified,
+        extra=dict(mapped.metadata),
+    )

@@ -1,0 +1,141 @@
+"""Workload generation and single-cell runners for the evaluation harness.
+
+Architectures are addressed the way the paper's Table 1 does:
+
+* ``sycamore`` with parameter ``m``        -> ``m x m`` patch, ``N = m^2``,
+* ``heavyhex`` with parameter ``groups``   -> ``5 * groups`` qubits
+  (four per group on the main line, one dangling),
+* ``lattice`` with parameter ``m``         -> ``m x m`` FT grid, ``N = m^2``,
+* ``grid`` with parameter ``m``            -> ``m x m`` uniform-latency grid,
+* ``lnn`` with parameter ``n``             -> a line of ``n`` qubits.
+
+Approaches:
+
+* ``ours``   -- the domain-specific mapper for the architecture (Sections 4-6),
+* ``sabre``  -- the SABRE re-implementation,
+* ``satmap`` -- the exact-with-timeout SATMAP stand-in,
+* ``lnn``    -- LNN along a Hamiltonian path (grid-like architectures only),
+* ``greedy`` -- naive shortest-path router (sanity baseline, not in the paper).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..arch import (
+    CaterpillarTopology,
+    GridTopology,
+    LatticeSurgeryTopology,
+    LNNTopology,
+    SycamoreTopology,
+    Topology,
+)
+from ..baselines import LNNPathMapper, SabreMapper, SatmapMapper, SatmapTimeout
+from ..core import GreedyRouterMapper, compile_qft
+from ..verify import check_mapped_qft_structure
+from .metrics import CompilationResult, result_from_mapped
+
+__all__ = ["make_architecture", "run_cell", "architecture_label", "APPROACHES"]
+
+APPROACHES = ("ours", "sabre", "satmap", "lnn", "greedy")
+
+
+def make_architecture(kind: str, size: int) -> Topology:
+    """Instantiate an architecture by kind and its paper-style size parameter."""
+
+    kind = kind.lower()
+    if kind == "sycamore":
+        return SycamoreTopology(size)
+    if kind in ("heavyhex", "heavy-hex", "caterpillar"):
+        return CaterpillarTopology.regular_groups(size)
+    if kind in ("lattice", "lattice-surgery", "ft"):
+        return LatticeSurgeryTopology(size)
+    if kind == "grid":
+        return GridTopology(size, size)
+    if kind in ("lnn", "line"):
+        return LNNTopology(size)
+    raise ValueError(f"unknown architecture kind {kind!r}")
+
+
+def architecture_label(kind: str, size: int) -> str:
+    kind = kind.lower()
+    if kind == "sycamore":
+        return f"{size}*{size} Sycamore"
+    if kind in ("heavyhex", "heavy-hex", "caterpillar"):
+        return f"Heavy-hex {size}*5"
+    if kind in ("lattice", "lattice-surgery", "ft"):
+        return f"Lattice surgery {size}*{size}"
+    if kind == "grid":
+        return f"Grid {size}*{size}"
+    return f"{kind} {size}"
+
+
+def _mapper_factory(approach: str, topology: Topology, **kwargs) -> Callable[[], object]:
+    approach = approach.lower()
+    if approach in ("ours", "our", "our-approach"):
+        return lambda: compile_qft(topology, strict_ie=kwargs.get("strict_ie", False))
+    if approach == "sabre":
+        mapper = SabreMapper(
+            topology,
+            seed=kwargs.get("seed", 0),
+            passes=kwargs.get("passes", 3),
+        )
+        return mapper.map_qft
+    if approach == "satmap":
+        mapper = SatmapMapper(topology, timeout_s=kwargs.get("timeout_s", 60.0))
+        return mapper.map_qft
+    if approach == "lnn":
+        mapper = LNNPathMapper(topology)
+        return mapper.map_qft
+    if approach == "greedy":
+        mapper = GreedyRouterMapper(topology)
+        return mapper.map_qft
+    raise ValueError(f"unknown approach {approach!r}")
+
+
+def run_cell(
+    approach: str,
+    kind: str,
+    size: int,
+    *,
+    verify: bool = True,
+    max_qubits: Optional[int] = None,
+    **kwargs,
+) -> CompilationResult:
+    """Compile QFT with one approach on one architecture instance.
+
+    ``max_qubits`` marks the cell as "skipped" (instead of running for hours)
+    when the instance exceeds the harness cap for that approach -- this is how
+    the benchmark suite keeps pure-Python SABRE runs bounded while still
+    reporting the full sweep for the analytical approach.
+    """
+
+    topology = make_architecture(kind, size)
+    label = architecture_label(kind, size)
+    n = topology.num_qubits
+    if max_qubits is not None and n > max_qubits:
+        return CompilationResult(
+            approach=approach, architecture=label, num_qubits=n, status="skipped"
+        )
+
+    factory = _mapper_factory(approach, topology, **kwargs)
+    start = time.perf_counter()
+    try:
+        mapped = factory()
+    except SatmapTimeout:
+        elapsed = time.perf_counter() - start
+        return CompilationResult(
+            approach=approach,
+            architecture=label,
+            num_qubits=n,
+            status="timeout",
+            compile_time_s=elapsed,
+        )
+    elapsed = time.perf_counter() - start
+
+    verified: Optional[bool] = None
+    if verify:
+        verified = check_mapped_qft_structure(mapped, n).ok
+    result = result_from_mapped(approach, label, mapped, elapsed, verified)
+    return result

@@ -1,0 +1,51 @@
+"""Plain-text rendering of result tables (paper-style)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .metrics import CompilationResult
+
+__all__ = ["format_table", "format_results", "format_series"]
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render dict rows as an aligned text table."""
+
+    if not rows:
+        return "(no rows)"
+    widths = {c: len(c) for c in columns}
+    for row in rows:
+        for c in columns:
+            widths[c] = max(widths[c], len(str(row.get(c, ""))))
+    header = "  ".join(c.ljust(widths[c]) for c in columns)
+    sep = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, sep]
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def format_results(results: Iterable[CompilationResult]) -> str:
+    rows = [r.as_row() for r in results]
+    columns = ["architecture", "qubits", "approach", "depth", "swaps", "compile_s", "status", "verified"]
+    return format_table(rows, columns)
+
+
+def format_series(
+    results: Iterable[CompilationResult], metric: str = "depth"
+) -> str:
+    """Render a figure-style series: one line per approach, x = qubit count."""
+
+    by_approach: Dict[str, List[CompilationResult]] = {}
+    for r in results:
+        by_approach.setdefault(r.approach, []).append(r)
+    lines = []
+    for approach, rs in sorted(by_approach.items()):
+        rs = sorted(rs, key=lambda r: r.num_qubits)
+        pts = []
+        for r in rs:
+            val = getattr(r, metric, None)
+            pts.append(f"{r.num_qubits}:{val if val is not None else r.status}")
+        lines.append(f"{approach:>16s}  " + "  ".join(pts))
+    return "\n".join(lines)

@@ -1,0 +1,41 @@
+"""Program synthesis of inter-unit schedules (SKETCH substitute)."""
+
+from .holes import Affine, Assignment, Hole, MinExpr, evaluate
+from .library import (
+    grid_ie_sketch,
+    grid_vertical_links,
+    sycamore_ie_sketch,
+    sycamore_links,
+    synthesize_grid_ie,
+    synthesize_sycamore_ie,
+)
+from .sketch import Sketch, SynthesisResult, SynthesisTimeout
+from .specs import (
+    all_cross_pairs,
+    covers_all_but_same_column,
+    covers_all_pairs,
+    same_start_pairs,
+    simulate_two_line_pattern,
+)
+
+__all__ = [
+    "Affine",
+    "Assignment",
+    "Hole",
+    "MinExpr",
+    "evaluate",
+    "grid_ie_sketch",
+    "grid_vertical_links",
+    "sycamore_ie_sketch",
+    "sycamore_links",
+    "synthesize_grid_ie",
+    "synthesize_sycamore_ie",
+    "Sketch",
+    "SynthesisResult",
+    "SynthesisTimeout",
+    "all_cross_pairs",
+    "covers_all_but_same_column",
+    "covers_all_pairs",
+    "same_start_pairs",
+    "simulate_two_line_pattern",
+]

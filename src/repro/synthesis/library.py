@@ -1,0 +1,139 @@
+"""The concrete sketches of Appendix 5 (Sycamore) and Appendix 7 (2-D grid).
+
+Both candidates share the loop shape of ``specs.simulate_two_line_pattern``;
+the holes are
+
+* ``offset_a`` / ``offset_b`` -- the starting parities of the two lines'
+  unconditional SWAP layers ("beg_u = (i + ??) mod 2" in Fig. 29/30),
+* ``rounds_coeff`` / ``rounds_const`` -- the loop trip count ``??*L + ??``.
+
+The specifications:
+
+* Sycamore (diagonal links, column index differs by one): cover every cross
+  pair **except** the initially same-column ones;
+* regular grid / lattice surgery (vertical links, same column): cover every
+  cross pair.
+
+The synthesiser re-discovers the paper's findings (tests assert this):
+
+* Sycamore: the two lines move **in sync** (offset difference 0) and ``L``
+  rounds suffice;
+* grid: the bottom line must start **one step late** (offset difference 1) --
+  with identical offsets the same-column neighbour never changes and the spec
+  is unsatisfiable, which the solver also confirms.
+
+The solved assignments are exactly the parameters
+:func:`repro.core.inter_unit.bipartite_all_to_all` is called with by the
+Sycamore and lattice-surgery mappers, closing the loop between the synthesis
+story and the shipped schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Set, Tuple
+
+from .holes import Hole
+from .sketch import Sketch, SynthesisResult
+from .specs import (
+    covers_all_but_same_column,
+    covers_all_pairs,
+    simulate_two_line_pattern,
+)
+
+__all__ = [
+    "sycamore_links",
+    "grid_vertical_links",
+    "sycamore_ie_sketch",
+    "grid_ie_sketch",
+    "synthesize_sycamore_ie",
+    "synthesize_grid_ie",
+]
+
+
+def sycamore_links(length: int) -> List[Tuple[int, int]]:
+    """Positional inter-unit links of the Sycamore unit pair (Section 5).
+
+    Position ``2c + 1`` of the upper unit line (its bottom physical row) is
+    linked to positions ``2c`` (vertically) and ``2c + 2`` (diagonally) of the
+    lower unit line (its top physical row).
+    """
+
+    links: List[Tuple[int, int]] = []
+    for a in range(1, length, 2):
+        links.append((a, a - 1))
+        if a + 1 < length:
+            links.append((a, a + 1))
+    return links
+
+
+def grid_vertical_links(length: int) -> List[Tuple[int, int]]:
+    """Same-column links between two adjacent grid rows (Section 6 / App. 7)."""
+
+    return [(c, c) for c in range(length)]
+
+
+def _template(links_fn):
+    def run(assignment: Dict[str, int], params: Mapping[str, int]) -> Set[Tuple[int, int]]:
+        length = params["L"]
+        rounds = assignment["rounds_coeff"] * length + assignment["rounds_const"]
+        if rounds < 0:
+            return set()
+        return simulate_two_line_pattern(
+            length,
+            links_fn(length),
+            assignment["offset_a"],
+            assignment["offset_b"],
+            rounds,
+        )
+
+    return run
+
+
+_COMMON_HOLES = [
+    Hole("offset_a", 0, 1),
+    Hole("offset_b", 0, 1),
+    Hole("rounds_coeff", 0, 2),
+    Hole("rounds_const", 0, 2),
+]
+
+
+def sycamore_ie_sketch() -> Sketch:
+    """The Appendix 5 sketch: synced travel paths over diagonal links."""
+
+    return Sketch(
+        name="sycamore-inter-unit",
+        holes=list(_COMMON_HOLES),
+        template=_template(sycamore_links),
+        spec=lambda covered, params: covers_all_but_same_column(covered, params["L"]),
+    )
+
+
+def grid_ie_sketch() -> Sketch:
+    """The Appendix 7 sketch: offset travel paths over vertical links."""
+
+    return Sketch(
+        name="grid-inter-unit",
+        holes=list(_COMMON_HOLES),
+        template=_template(grid_vertical_links),
+        spec=lambda covered, params: covers_all_pairs(covered, params["L"]),
+    )
+
+
+def _default_params(lengths: Sequence[int]) -> List[Dict[str, int]]:
+    return [{"L": L} for L in lengths]
+
+
+def synthesize_sycamore_ie(
+    lengths: Sequence[int] = (4, 6, 8), *, find_all: bool = False
+) -> SynthesisResult:
+    """Solve the Sycamore inter-unit sketch against several unit sizes."""
+
+    return sycamore_ie_sketch().solve(_default_params(lengths), find_all=find_all)
+
+
+def synthesize_grid_ie(
+    lengths: Sequence[int] = (4, 5, 6, 8), *, find_all: bool = False
+) -> SynthesisResult:
+    """Solve the grid inter-unit sketch against several unit sizes."""
+
+    return grid_ie_sketch().solve(_default_params(lengths), find_all=find_all)

@@ -1,0 +1,117 @@
+"""A miniature SKETCH-style enumerative synthesiser.
+
+A :class:`Sketch` bundles
+
+* a list of :class:`~repro.synthesis.holes.Hole` unknowns,
+* a *template* -- a callable that, given a hole assignment and a parameter
+  dict (e.g. the unit size ``m``), produces an artifact (for us: the pair
+  coverage achieved by a candidate travel schedule),
+* a *specification* -- a predicate over (artifact, parameters).
+
+:meth:`Sketch.solve` enumerates hole assignments (smallest-domain-first, with
+optional early termination) and returns every assignment -- or just the first
+-- for which the specification holds on **all** given parameter sets.  This is
+exactly the role SKETCH plays in the paper (Appendix 5/7): the search space is
+tiny (a handful of small integer holes) once the human supplies the loop
+shape, and the solver's job is only to pin down the bounds/offsets.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .holes import Assignment, Hole
+
+__all__ = ["Sketch", "SynthesisResult", "SynthesisTimeout"]
+
+
+class SynthesisTimeout(TimeoutError):
+    """Raised when enumeration exceeds the time budget."""
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of a synthesis run."""
+
+    solutions: List[Assignment]
+    explored: int
+    elapsed_s: float
+
+    @property
+    def found(self) -> bool:
+        return bool(self.solutions)
+
+    @property
+    def first(self) -> Optional[Assignment]:
+        return self.solutions[0] if self.solutions else None
+
+
+@dataclass
+class Sketch:
+    """An affine-loop template with integer holes and a specification."""
+
+    name: str
+    holes: Sequence[Hole]
+    template: Callable[[Assignment, Mapping[str, int]], object]
+    spec: Callable[[object, Mapping[str, int]], bool]
+
+    def __post_init__(self) -> None:
+        names = [h.name for h in self.holes]
+        if len(names) != len(set(names)):
+            raise ValueError("hole names must be unique")
+
+    def search_space_size(self) -> int:
+        size = 1
+        for h in self.holes:
+            size *= len(h.domain)
+        return size
+
+    def check(self, assignment: Assignment, param_sets: Iterable[Mapping[str, int]]) -> bool:
+        """True if the assignment satisfies the spec for every parameter set."""
+
+        for params in param_sets:
+            artifact = self.template(assignment, params)
+            if not self.spec(artifact, params):
+                return False
+        return True
+
+    def solve(
+        self,
+        param_sets: Sequence[Mapping[str, int]],
+        *,
+        find_all: bool = False,
+        timeout_s: float = 60.0,
+    ) -> SynthesisResult:
+        """Enumerate hole assignments until the spec holds on all parameters.
+
+        Holes are enumerated smallest-domain first so that "boolean-ish" holes
+        (offsets, parities) are decided before wide numeric ranges; candidates
+        failing the *first* parameter set are rejected without evaluating the
+        rest, which keeps the common case fast.
+        """
+
+        if not param_sets:
+            raise ValueError("need at least one parameter set to synthesise against")
+        ordered = sorted(self.holes, key=lambda h: len(h.domain))
+        domains = [list(h.domain) for h in ordered]
+        names = [h.name for h in ordered]
+
+        start = time.monotonic()
+        solutions: List[Assignment] = []
+        explored = 0
+        for values in itertools.product(*domains):
+            if time.monotonic() - start > timeout_s:
+                raise SynthesisTimeout(
+                    f"sketch {self.name!r}: exceeded {timeout_s:.0f}s after exploring "
+                    f"{explored} candidates"
+                )
+            explored += 1
+            assignment = dict(zip(names, values))
+            if self.check(assignment, param_sets):
+                solutions.append(assignment)
+                if not find_all:
+                    break
+        return SynthesisResult(solutions, explored, time.monotonic() - start)

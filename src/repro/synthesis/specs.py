@@ -1,0 +1,89 @@
+"""Specifications and schedule simulation for the inter-unit sketches.
+
+The artifact a candidate travel schedule produces is the set of (top item,
+bottom item) pairs that become adjacent through an inter-unit link at some
+CPHASE checkpoint.  The specification of Appendix 5/7 is then simply:
+
+* **regular 2-D grid / lattice surgery** (vertical links): *every* cross pair
+  must be covered;
+* **Sycamore** (links between columns differing by one): every cross pair
+  except the initially same-column ones must be covered (those are fixed up
+  separately, Section 5).
+
+``simulate_two_line_pattern`` is a pure position-level simulation (no
+builders, no dependence tracking) of the candidate loop:
+
+    for i in range(rounds):
+        CPHASE on all inter-unit links            # checkpoint
+        unconditional odd-even SWAP layer on the top line    (parity i+off_a)
+        unconditional odd-even SWAP layer on the bottom line  (parity i+off_b)
+
+which is exactly the code shape of Fig. 25 / Fig. 29 with the holes being the
+two offsets and the number of rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Tuple
+
+__all__ = [
+    "simulate_two_line_pattern",
+    "all_cross_pairs",
+    "same_start_pairs",
+    "covers_all_pairs",
+    "covers_all_but_same_column",
+]
+
+Pair = Tuple[int, int]
+
+
+def _swap_layer(order: List[int], parity: int) -> None:
+    for p in range(parity % 2, len(order) - 1, 2):
+        order[p], order[p + 1] = order[p + 1], order[p]
+
+
+def simulate_two_line_pattern(
+    length: int,
+    links: Sequence[Pair],
+    offset_a: int,
+    offset_b: int,
+    rounds: int,
+) -> Set[Pair]:
+    """Return the set of (top item, bottom item) pairs covered by the pattern.
+
+    Items of the top line are ``0..length-1`` (initial positions); items of
+    the bottom line are likewise ``0..length-1``.  ``links`` are positional
+    ``(top position, bottom position)`` pairs.
+    """
+
+    top = list(range(length))
+    bottom = list(range(length))
+    covered: Set[Pair] = set()
+    for pa, pb in links:
+        if not (0 <= pa < length and 0 <= pb < length):
+            raise ValueError(f"link ({pa}, {pb}) out of range for length {length}")
+
+    for t in range(rounds + 1):
+        for pa, pb in links:
+            covered.add((top[pa], bottom[pb]))
+        if t < rounds:
+            _swap_layer(top, t + offset_a)
+            _swap_layer(bottom, t + offset_b)
+    return covered
+
+
+def all_cross_pairs(length: int) -> Set[Pair]:
+    return {(a, b) for a in range(length) for b in range(length)}
+
+
+def same_start_pairs(length: int) -> Set[Pair]:
+    return {(a, a) for a in range(length)}
+
+
+def covers_all_pairs(covered: Set[Pair], length: int) -> bool:
+    return all_cross_pairs(length) <= covered
+
+
+def covers_all_but_same_column(covered: Set[Pair], length: int) -> bool:
+    required = all_cross_pairs(length) - same_start_pairs(length)
+    return required <= covered

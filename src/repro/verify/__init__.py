@@ -1,0 +1,29 @@
+"""Correctness verification: structural coverage checks and statevector simulation."""
+
+from .coverage import CoverageReport, check_mapped_qft_structure
+from .checker import VerificationResult, verify_mapped_qft
+from .statevector import (
+    apply_gate,
+    circuit_unitary,
+    mapped_events_unitary,
+    qft_reference_unitary,
+    random_state,
+    simulate_circuit,
+    states_equal_up_to_phase,
+    unitaries_equal_up_to_phase,
+)
+
+__all__ = [
+    "CoverageReport",
+    "check_mapped_qft_structure",
+    "VerificationResult",
+    "verify_mapped_qft",
+    "apply_gate",
+    "circuit_unitary",
+    "mapped_events_unitary",
+    "qft_reference_unitary",
+    "random_state",
+    "simulate_circuit",
+    "states_equal_up_to_phase",
+    "unitaries_equal_up_to_phase",
+]

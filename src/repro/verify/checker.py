@@ -1,0 +1,78 @@
+"""One-call verification entry point used by tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..circuit.qft import qft_circuit
+from ..circuit.schedule import MappedCircuit
+from .coverage import CoverageReport, check_mapped_qft_structure
+from .statevector import (
+    circuit_unitary,
+    mapped_events_unitary,
+    unitaries_equal_up_to_phase,
+)
+
+__all__ = ["VerificationResult", "verify_mapped_qft"]
+
+#: above this qubit count the dense unitary cross-check is skipped
+DEFAULT_STATEVECTOR_LIMIT = 8
+
+
+@dataclass
+class VerificationResult:
+    """Combined result of the structural and (optional) unitary checks."""
+
+    structure: CoverageReport
+    unitary_checked: bool
+    unitary_ok: Optional[bool]
+
+    @property
+    def ok(self) -> bool:
+        if not self.structure.ok:
+            return False
+        if self.unitary_checked and not self.unitary_ok:
+            return False
+        return True
+
+    def summary(self) -> str:
+        lines = [self.structure.summary()]
+        if self.unitary_checked:
+            lines.append(
+                "Unitary equivalence check: " + ("OK" if self.unitary_ok else "FAILED")
+            )
+        else:
+            lines.append("Unitary equivalence check: skipped (instance too large)")
+        return "\n".join(lines)
+
+
+def verify_mapped_qft(
+    mapped: MappedCircuit,
+    num_qubits: Optional[int] = None,
+    *,
+    strict_order: bool = False,
+    statevector_limit: int = DEFAULT_STATEVECTOR_LIMIT,
+) -> VerificationResult:
+    """Verify that ``mapped`` implements the QFT kernel.
+
+    Structural checks (coverage, adjacency, dependences) always run; if the
+    instance has at most ``statevector_limit`` logical qubits the mapped
+    circuit is additionally replayed on the logical state and its unitary is
+    compared (up to global phase) with the textbook QFT circuit's unitary.
+    """
+
+    n = num_qubits if num_qubits is not None else mapped.num_logical
+    structure = check_mapped_qft_structure(mapped, n, strict_order=strict_order)
+
+    unitary_checked = False
+    unitary_ok: Optional[bool] = None
+    if structure.ok and n <= statevector_limit:
+        unitary_checked = True
+        reference = circuit_unitary(qft_circuit(n))
+        actual = mapped_events_unitary(n, mapped.logical_gate_events())
+        unitary_ok = unitaries_equal_up_to_phase(actual, reference)
+
+    return VerificationResult(structure=structure, unitary_checked=unitary_checked, unitary_ok=unitary_ok)

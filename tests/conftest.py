@@ -1,0 +1,49 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    CaterpillarTopology,
+    GridTopology,
+    LatticeSurgeryTopology,
+    LNNTopology,
+    SycamoreTopology,
+)
+from repro.verify import verify_mapped_qft
+
+
+@pytest.fixture
+def line5() -> LNNTopology:
+    return LNNTopology(5)
+
+
+@pytest.fixture
+def grid33() -> GridTopology:
+    return GridTopology(3, 3)
+
+
+@pytest.fixture
+def sycamore4() -> SycamoreTopology:
+    return SycamoreTopology(4)
+
+
+@pytest.fixture
+def lattice4() -> LatticeSurgeryTopology:
+    return LatticeSurgeryTopology(4)
+
+
+@pytest.fixture
+def caterpillar10() -> CaterpillarTopology:
+    return CaterpillarTopology.regular_groups(2)
+
+
+def assert_valid_qft(mapped, n=None, *, strict=False, statevector_limit=7):
+    """Assert a mapped circuit is a correct QFT (structure + small-n unitary)."""
+
+    result = verify_mapped_qft(
+        mapped, n, strict_order=strict, statevector_limit=statevector_limit
+    )
+    assert result.ok, result.summary()
+    return result

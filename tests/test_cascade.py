@@ -1,0 +1,167 @@
+"""Tests for the LNN cascade engine (abstract and physical, Section 2.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import GridTopology, LNNTopology
+from repro.circuit import GateKind, MappingBuilder, qft_type2_order_ok
+from repro.core import QFTDependenceTracker, abstract_line_qft_schedule, cascade_on_line
+from repro.core.cascade import AbstractStep
+
+
+class TestAbstractSchedule:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 6, 10, 17])
+    def test_every_pair_interacts_exactly_once(self, k):
+        steps = abstract_line_qft_schedule(k)
+        cps = [s for s in steps if s.kind == "cphase"]
+        assert len(cps) == k * (k - 1) // 2
+        assert len({s.items for s in cps}) == len(cps)
+
+    @pytest.mark.parametrize("k", [1, 2, 5, 12])
+    def test_every_item_hadamarded_once(self, k):
+        steps = abstract_line_qft_schedule(k)
+        hs = [s.items[0] for s in steps if s.kind == "h"]
+        assert sorted(hs) == list(range(k))
+
+    @pytest.mark.parametrize("k", [2, 4, 8, 16])
+    def test_type2_dependence_respected(self, k):
+        steps = abstract_line_qft_schedule(k)
+        events = []
+        for s in steps:
+            if s.kind == "h":
+                events.append(("h", s.items))
+            elif s.kind == "cphase":
+                events.append(("cphase", s.items))
+        ok, msg = qft_type2_order_ok(k, events)
+        assert ok, msg
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 9])
+    def test_two_item_steps_use_adjacent_positions(self, k):
+        for s in abstract_line_qft_schedule(k):
+            if len(s.positions) == 2:
+                assert abs(s.positions[0] - s.positions[1]) == 1
+
+    @pytest.mark.parametrize("k", [2, 3, 6, 10])
+    def test_positions_consistent_with_swap_replay(self, k):
+        line = list(range(k))
+        for s in abstract_line_qft_schedule(k):
+            resident = {line[p] for p in s.positions}
+            assert resident == set(s.items), "schedule positions must match replay"
+            if s.kind == "swap":
+                p, q = s.positions
+                line[p], line[q] = line[q], line[p]
+
+    @pytest.mark.parametrize("k", [2, 4, 8, 16, 32])
+    def test_layer_count_is_linear(self, k):
+        steps = abstract_line_qft_schedule(k)
+        depth = max(s.layer for s in steps) + 1
+        assert depth <= 6 * k, f"abstract schedule depth {depth} is not linear-ish in {k}"
+
+    def test_layers_have_disjoint_positions(self):
+        steps = abstract_line_qft_schedule(9)
+        by_layer = {}
+        for s in steps:
+            by_layer.setdefault(s.layer, []).append(s)
+        for layer_steps in by_layer.values():
+            used = [p for s in layer_steps for p in s.positions]
+            assert len(used) == len(set(used))
+
+    def test_single_item(self):
+        steps = abstract_line_qft_schedule(1)
+        assert len(steps) == 1 and steps[0].kind == "h"
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            abstract_line_qft_schedule(0)
+
+
+class TestCascadeOnLine:
+    def _run(self, n, line=None, topo=None, layout=None, participants=None):
+        topo = topo or LNNTopology(n)
+        line = line if line is not None else list(range(n))
+        layout = layout if layout is not None else list(line)
+        builder = MappingBuilder(topo, layout, num_logical=n)
+        tracker = QFTDependenceTracker(n)
+        stats = cascade_on_line(builder, tracker, line, participants=participants)
+        return builder, tracker, stats
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 9, 16])
+    def test_completes_the_kernel_on_a_line(self, n):
+        builder, tracker, stats = self._run(n)
+        assert tracker.all_done()
+        assert stats["fallback_swaps"] == 0
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16, 32])
+    def test_depth_is_linear(self, n):
+        builder, tracker, _ = self._run(n)
+        mc = builder.build()
+        assert mc.unit_depth() <= 6 * n
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_swap_count_close_to_pair_count(self, n):
+        builder, tracker, _ = self._run(n)
+        mc = builder.build()
+        assert mc.swap_count() <= n * (n - 1) // 2 + n
+
+    def test_final_order_reversed_for_identity_start(self):
+        builder, tracker, _ = self._run(6)
+        mc = builder.build()
+        final = mc.final_layout()
+        # the cascade stops moving a qubit once it has no pending work, so the
+        # order is reversed up to a bounded tail
+        assert final[0] >= 3
+
+    def test_rejects_uncoupled_line(self):
+        topo = GridTopology(2, 2)
+        builder = MappingBuilder(topo, [0, 1, 3, 2])
+        tracker = QFTDependenceTracker(4)
+        with pytest.raises(ValueError):
+            cascade_on_line(builder, tracker, [0, 3, 1, 2])
+
+    def test_line_through_grid(self):
+        topo = GridTopology(2, 3)
+        line = topo.serpentine_order()
+        builder = MappingBuilder(topo, line, num_logical=6)
+        tracker = QFTDependenceTracker(6)
+        cascade_on_line(builder, tracker, line)
+        assert tracker.all_done()
+
+    def test_participants_subset_only_completes_that_subset(self):
+        n = 6
+        topo = LNNTopology(n)
+        builder = MappingBuilder(topo, list(range(n)), num_logical=n)
+        tracker = QFTDependenceTracker(n)
+        cascade_on_line(builder, tracker, [0, 1, 2], participants=[0, 1, 2])
+        assert tracker.all_pairs_done_within([0, 1, 2])
+        assert not tracker.pair_is_done(0, 3)
+
+    def test_empty_participants_is_a_no_op(self):
+        topo = LNNTopology(3)
+        builder = MappingBuilder(topo, [], num_logical=3)
+        tracker = QFTDependenceTracker(3)
+        stats = cascade_on_line(builder, tracker, [0, 1, 2], participants=[])
+        assert stats["layers"] == 0 and len(builder.ops) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=8),
+        seed=st.integers(0, 10_000),
+    )
+    def test_arbitrary_starting_orders_still_complete(self, n, seed):
+        """The cascade (with orientation flips) finishes from any placement."""
+
+        import random
+
+        rng = random.Random(seed)
+        order = list(range(n))
+        rng.shuffle(order)
+        topo = LNNTopology(n)
+        layout = [order.index(q) for q in range(n)]  # logical q at position order.index(q)
+        builder = MappingBuilder(topo, layout, num_logical=n)
+        tracker = QFTDependenceTracker(n)
+        cascade_on_line(builder, tracker, list(range(n)))
+        assert tracker.all_done()
+        events = builder.build().logical_events()
+        ok, msg = qft_type2_order_ok(n, events)
+        assert ok, msg

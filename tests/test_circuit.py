@@ -1,0 +1,98 @@
+"""Unit tests for repro.circuit.circuit."""
+
+import pytest
+
+from repro.circuit import CPHASE, Circuit, GateKind, H, SWAP
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        c = Circuit(3)
+        assert len(c) == 0
+        assert c.num_qubits == 3
+
+    def test_rejects_nonpositive_qubit_count(self):
+        with pytest.raises(ValueError):
+            Circuit(0)
+
+    def test_append_validates_qubit_range(self):
+        c = Circuit(2)
+        with pytest.raises(ValueError):
+            c.append(H(2))
+
+    def test_gates_passed_to_constructor_are_validated(self):
+        with pytest.raises(ValueError):
+            Circuit(2, [CPHASE(0, 5, 0.1)])
+
+    def test_builder_methods_chain(self):
+        c = Circuit(3).h(0).cphase(0, 1).swap(1, 2).cnot(0, 2).rz(1, 0.3)
+        assert len(c) == 5
+
+    def test_extend(self):
+        c = Circuit(3)
+        c.extend([H(0), H(1), H(2)])
+        assert c.count(GateKind.H) == 3
+
+
+class TestInspection:
+    def test_count_by_kind(self):
+        c = Circuit(3).h(0).cphase(0, 1).cphase(1, 2)
+        assert c.count(GateKind.CPHASE) == 2
+        assert c.count(GateKind.H) == 1
+        assert c.count(GateKind.SWAP) == 0
+
+    def test_two_qubit_gates(self):
+        c = Circuit(3).h(0).cphase(0, 1).swap(1, 2)
+        assert len(c.two_qubit_gates()) == 2
+
+    def test_qubits_used(self):
+        c = Circuit(5).h(1).cphase(1, 3)
+        assert c.qubits_used() == (1, 3)
+
+    def test_depth_sequential_on_one_qubit(self):
+        c = Circuit(1).h(0).rz(0, 0.1).h(0)
+        assert c.depth() == 3
+
+    def test_depth_parallel_on_disjoint_qubits(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3)
+        assert c.depth() == 1
+
+    def test_depth_mixed(self):
+        c = Circuit(3).h(0).cphase(0, 1).cphase(1, 2).h(2)
+        # h(0); cp(0,1); cp(1,2); h(2) chain through shared qubits
+        assert c.depth() == 4
+
+    def test_interaction_pairs(self):
+        c = Circuit(4).cphase(0, 1).cphase(2, 3).cphase(1, 0)
+        assert c.interaction_pairs() == {(0, 1), (2, 3)}
+
+    def test_iteration_and_indexing(self):
+        c = Circuit(2).h(0).h(1)
+        assert list(c)[1] == c[1] == H(1)
+
+
+class TestTransformation:
+    def test_copy_is_independent(self):
+        c = Circuit(2).h(0)
+        d = c.copy()
+        d.h(1)
+        assert len(c) == 1 and len(d) == 2
+
+    def test_remapped(self):
+        c = Circuit(3).cphase(0, 2)
+        d = c.remapped([2, 1, 0])
+        assert d[0].qubits == (2, 0)
+
+    def test_remapped_requires_full_mapping(self):
+        with pytest.raises(ValueError):
+            Circuit(3).remapped([0, 1])
+
+    def test_reversed_order(self):
+        c = Circuit(2).h(0).h(1)
+        assert [g.qubits for g in c.reversed()] == [(1,), (0,)]
+
+    def test_without_drops_kinds(self):
+        c = Circuit(3).h(0).swap(0, 1).cphase(1, 2)
+        d = c.without([GateKind.SWAP])
+        assert d.count(GateKind.SWAP) == 0
+        assert len(d) == 2

@@ -1,0 +1,74 @@
+"""Tests for the LNN linear-depth QFT mapper (the paper's base case)."""
+
+import pytest
+
+from conftest import assert_valid_qft
+from repro.arch import GridTopology, LNNTopology
+from repro.core import LNNQFTMapper, map_qft_on_line
+
+
+class TestLNNMapper:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 6, 7])
+    def test_produces_verified_qft_with_correct_unitary(self, n):
+        mapped = LNNQFTMapper(LNNTopology(n)).map_qft()
+        result = assert_valid_qft(mapped, n)
+        if n <= 7:
+            assert result.unitary_checked
+
+    @pytest.mark.parametrize("n", [10, 20, 40, 80])
+    def test_depth_scales_linearly(self, n):
+        mapped = LNNQFTMapper(LNNTopology(n)).map_qft()
+        assert_valid_qft(mapped, n)
+        assert mapped.depth() <= 6 * n
+        assert mapped.depth() >= 2 * n
+
+    @pytest.mark.parametrize("n", [5, 10, 20])
+    def test_cphase_and_swap_counts(self, n):
+        mapped = LNNQFTMapper(LNNTopology(n)).map_qft()
+        pairs = n * (n - 1) // 2
+        assert mapped.cphase_count() == pairs
+        # every pair swaps at most once, minus the ones that finish in place
+        assert pairs - n <= mapped.swap_count() <= pairs
+
+    def test_no_fallback_on_a_line(self):
+        mapped = LNNQFTMapper(LNNTopology(30)).map_qft()
+        assert mapped.metadata["fallback_swaps"] == 0
+
+    def test_partial_kernel_on_larger_line(self):
+        mapped = LNNQFTMapper(LNNTopology(10)).map_qft(4)
+        assert mapped.num_logical == 4
+        assert_valid_qft(mapped, 4)
+
+    def test_too_many_logical_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            map_qft_on_line(LNNTopology(3), [0, 1, 2], 4)
+
+    def test_explicit_line_through_a_grid(self):
+        grid = GridTopology(3, 3)
+        mapper = LNNQFTMapper(grid, line=grid.serpentine_order())
+        mapped = mapper.map_qft()
+        assert_valid_qft(mapped, 9)
+
+    def test_uncoupled_line_rejected(self):
+        grid = GridTopology(2, 2)
+        with pytest.raises(ValueError):
+            LNNQFTMapper(grid, line=[0, 3, 1, 2])
+
+    def test_topology_without_line_requires_explicit_path(self):
+        from repro.arch import Topology
+
+        star = Topology(4, [(0, 1), (0, 2), (0, 3)])
+        with pytest.raises(ValueError):
+            LNNQFTMapper(star)
+
+    def test_final_layout_is_a_permutation(self):
+        mapped = LNNQFTMapper(LNNTopology(12)).map_qft()
+        final = mapped.final_layout()
+        assert sorted(final) == list(range(12))
+
+    def test_compile_time_is_fast(self):
+        import time
+
+        start = time.perf_counter()
+        LNNQFTMapper(LNNTopology(64)).map_qft()
+        assert time.perf_counter() - start < 5.0

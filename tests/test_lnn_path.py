@@ -1,0 +1,72 @@
+"""Tests for the LNN-on-a-Hamiltonian-path baseline (Fig. 19's 'LNN')."""
+
+import pytest
+
+from conftest import assert_valid_qft
+from repro.arch import (
+    CaterpillarTopology,
+    GridTopology,
+    LatticeSurgeryTopology,
+    LNNTopology,
+)
+from repro.baselines import LNNPathMapper
+
+
+class TestLNNPathBaseline:
+    @pytest.mark.parametrize("m", [2, 3, 4, 5])
+    def test_correct_on_lattice_surgery(self, m):
+        topo = LatticeSurgeryTopology(m)
+        mapped = LNNPathMapper(topo).map_qft()
+        assert_valid_qft(mapped, topo.num_qubits)
+
+    def test_correct_on_plain_grid(self):
+        topo = GridTopology(3, 4)
+        mapped = LNNPathMapper(topo).map_qft()
+        assert_valid_qft(mapped, 12)
+
+    def test_uses_the_serpentine_path(self):
+        topo = LatticeSurgeryTopology(3)
+        mapper = LNNPathMapper(topo)
+        assert mapper.path == topo.serpentine_order()
+
+    def test_charged_with_slow_links_on_ft_backend(self):
+        """The serpentine's turns use vertical (slow) links, so the weighted
+        depth exceeds the uniform-latency depth -- the effect Section 6 exploits."""
+
+        topo = LatticeSurgeryTopology(4)
+        mapped = LNNPathMapper(topo).map_qft()
+        assert mapped.depth() > mapped.unit_depth()
+
+    def test_ours_beats_lnn_baseline_on_swap_count(self):
+        from repro.core import compile_qft
+
+        topo = LatticeSurgeryTopology(8)
+        lnn = LNNPathMapper(topo).map_qft()
+        ours = compile_qft(topo)
+        # Fig. 19(b): our approach uses fewer SWAPs than LNN.  (The paper also
+        # wins on weighted depth thanks to its hand-optimised 2xN mixed
+        # schedule; our simpler row-unit schedule has a larger depth constant,
+        # a documented gap -- see EXPERIMENTS.md.)
+        assert ours.swap_count() < lnn.swap_count()
+
+    def test_no_hamiltonian_path_on_heavy_hex(self):
+        """Matches the paper: LNN is not applicable to heavy-hex/Sycamore."""
+
+        topo = CaterpillarTopology.regular_groups(3)
+        with pytest.raises(ValueError):
+            LNNPathMapper(topo)
+
+    def test_explicit_path_must_cover_every_qubit(self):
+        topo = GridTopology(2, 2)
+        with pytest.raises(ValueError):
+            LNNPathMapper(topo, path=[0, 1])
+
+    def test_explicit_path_must_be_coupled(self):
+        topo = GridTopology(2, 2)
+        with pytest.raises(ValueError):
+            LNNPathMapper(topo, path=[0, 3, 1, 2])
+
+    def test_topology_without_serpentine_needs_explicit_path(self):
+        topo = LNNTopology(5)
+        mapper = LNNPathMapper(topo, path=[0, 1, 2, 3, 4])
+        assert_valid_qft(mapper.map_qft(), 5)

@@ -1,0 +1,110 @@
+"""Tests for the partition helpers and the compile_qft facade."""
+
+import pytest
+
+from conftest import assert_valid_qft
+from repro.arch import (
+    CaterpillarTopology,
+    GridTopology,
+    HeavyHexTopology,
+    LatticeSurgeryTopology,
+    LNNTopology,
+    SycamoreTopology,
+    Topology,
+)
+from repro.circuit import GateKind, qft_circuit
+from repro.core import (
+    GreedyRouterMapper,
+    GridQFTMapper,
+    HeavyHexQFTMapper,
+    LatticeSurgeryQFTMapper,
+    LNNQFTMapper,
+    SycamoreQFTMapper,
+    compile_qft,
+    mapper_for,
+    partitioned_qft_for,
+    unit_partition_for,
+)
+from repro.verify import circuit_unitary, unitaries_equal_up_to_phase
+
+
+class TestUnitPartition:
+    def test_sycamore_partition_matches_units(self):
+        topo = SycamoreTopology(4)
+        part = unit_partition_for(topo)
+        assert [c.size for c in part.children] == [8, 8]
+
+    def test_lattice_partition_matches_rows(self):
+        topo = LatticeSurgeryTopology(3)
+        part = unit_partition_for(topo)
+        assert [c.size for c in part.children] == [3, 3, 3]
+
+    def test_grid_partition_matches_rows(self):
+        topo = GridTopology(2, 5)
+        part = unit_partition_for(topo)
+        assert [c.size for c in part.children] == [5, 5]
+
+    def test_line_has_single_unit(self):
+        part = unit_partition_for(LNNTopology(7))
+        assert part.children == [] and part.size == 7
+
+    def test_partitioned_circuit_equivalent_to_textbook(self):
+        topo = GridTopology(2, 3)
+        circ = partitioned_qft_for(topo)
+        assert unitaries_equal_up_to_phase(
+            circuit_unitary(circ), circuit_unitary(qft_circuit(6))
+        )
+
+    def test_partitioned_circuit_has_same_gate_counts(self):
+        topo = SycamoreTopology(4)
+        circ = partitioned_qft_for(topo, relaxed_ie=True)
+        n = topo.num_qubits
+        assert circ.count(GateKind.H) == n
+        assert circ.count(GateKind.CPHASE) == n * (n - 1) // 2
+
+
+class TestMapperFacade:
+    @pytest.mark.parametrize(
+        "topo_factory,mapper_cls",
+        [
+            (lambda: LNNTopology(6), LNNQFTMapper),
+            (lambda: CaterpillarTopology.regular_groups(2), HeavyHexQFTMapper),
+            (lambda: HeavyHexTopology(2, 7), HeavyHexQFTMapper),
+            (lambda: SycamoreTopology(4), SycamoreQFTMapper),
+            (lambda: LatticeSurgeryTopology(3), LatticeSurgeryQFTMapper),
+            (lambda: GridTopology(3, 3), GridQFTMapper),
+        ],
+        ids=["lnn", "caterpillar", "heavyhex", "sycamore", "lattice", "grid"],
+    )
+    def test_dispatch(self, topo_factory, mapper_cls):
+        topo = topo_factory()
+        assert isinstance(mapper_for(topo), mapper_cls)
+
+    def test_unknown_topology_falls_back_to_greedy_router(self):
+        star = Topology(5, [(0, i) for i in range(1, 5)])
+        assert isinstance(mapper_for(star), GreedyRouterMapper)
+        mapped = compile_qft(star)
+        assert_valid_qft(mapped, 5)
+
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [
+            lambda: LNNTopology(6),
+            lambda: CaterpillarTopology.regular_groups(2),
+            lambda: SycamoreTopology(4),
+            lambda: LatticeSurgeryTopology(4),
+            lambda: GridTopology(4, 4),
+        ],
+        ids=["lnn", "heavyhex", "sycamore", "lattice", "grid"],
+    )
+    def test_compile_qft_end_to_end(self, topo_factory):
+        topo = topo_factory()
+        mapped = compile_qft(topo)
+        assert_valid_qft(mapped, topo.num_qubits)
+
+    def test_grid_note_lattice_is_not_dispatched_to_grid(self):
+        # LatticeSurgeryTopology is not a GridTopology subclass; make sure the
+        # FT cost model is the one applied
+        topo = LatticeSurgeryTopology(3)
+        mapped = compile_qft(topo)
+        assert mapped.depth() > mapped.unit_depth()

@@ -1,0 +1,190 @@
+"""Tests for the QFT builders and the k-partition rewrite (Section 3.2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    GateKind,
+    PartitionRange,
+    qft_circuit,
+    qft_ia_gates,
+    qft_ie_gates,
+    qft_interaction_count,
+    qft_pair_list,
+    qft_partitioned,
+)
+from repro.verify import circuit_unitary, qft_reference_unitary, unitaries_equal_up_to_phase
+
+
+class TestQftCircuit:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 8, 16])
+    def test_gate_counts(self, n):
+        c = qft_circuit(n)
+        assert c.count(GateKind.H) == n
+        assert c.count(GateKind.CPHASE) == n * (n - 1) // 2
+
+    def test_rejects_zero_qubits(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+
+    def test_textbook_order_groups_by_smaller_qubit(self):
+        c = qft_circuit(4)
+        # first gate block: H(0), CP(0,1), CP(0,2), CP(0,3)
+        assert c[0].qubits == (0,)
+        assert [g.qubits for g in c.gates[1:4]] == [(0, 1), (0, 2), (0, 3)]
+
+    def test_angles_follow_distance(self):
+        c = qft_circuit(5)
+        for g in c.gates:
+            if g.kind == GateKind.CPHASE:
+                i, j = g.qubits
+                assert g.angle == pytest.approx(math.pi / 2 ** abs(j - i))
+
+    def test_final_swaps_optional(self):
+        with_swaps = qft_circuit(4, include_final_swaps=True)
+        without = qft_circuit(4)
+        assert with_swaps.count(GateKind.SWAP) == 2
+        assert without.count(GateKind.SWAP) == 0
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_matches_reference_dft_matrix(self, n):
+        u = circuit_unitary(qft_circuit(n))
+        ref = qft_reference_unitary(n)
+        assert unitaries_equal_up_to_phase(u, ref)
+
+    def test_pair_list_matches_circuit(self):
+        hs, pairs = qft_pair_list(6)
+        c = qft_circuit(6)
+        assert hs == list(range(6))
+        assert set(pairs) == c.interaction_pairs()
+
+    @pytest.mark.parametrize("n,expected", [(1, 0), (2, 1), (4, 6), (10, 45)])
+    def test_interaction_count(self, n, expected):
+        assert qft_interaction_count(n) == expected
+
+
+class TestPartitionRange:
+    def test_simple_range(self):
+        p = PartitionRange(0, 5)
+        assert p.size == 5
+        assert list(p.qubits()) == [0, 1, 2, 3, 4]
+
+    def test_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            PartitionRange(3, 3)
+
+    def test_children_must_be_consecutive(self):
+        with pytest.raises(ValueError):
+            PartitionRange(0, 6, [PartitionRange(0, 2), PartitionRange(3, 6)])
+
+    def test_children_must_cover_parent(self):
+        with pytest.raises(ValueError):
+            PartitionRange(0, 6, [PartitionRange(0, 2), PartitionRange(2, 5)])
+
+    def test_children_must_start_at_parent_start(self):
+        with pytest.raises(ValueError):
+            PartitionRange(0, 6, [PartitionRange(1, 6)])
+
+    def test_even_split(self):
+        p = PartitionRange.even_split(10, 3)
+        assert [c.size for c in p.children] == [3, 4, 3]
+        assert p.children[0].start == 0 and p.children[-1].stop == 10
+
+    def test_even_split_single_group(self):
+        p = PartitionRange.even_split(7, 1)
+        assert p.children == [] and p.size == 7
+
+    def test_even_split_rejects_too_many_groups(self):
+        with pytest.raises(ValueError):
+            PartitionRange.even_split(3, 5)
+
+    def test_from_sizes(self):
+        p = PartitionRange.from_sizes([2, 3, 1])
+        assert [c.size for c in p.children] == [2, 3, 1]
+        assert p.stop == 6
+
+    def test_from_sizes_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PartitionRange.from_sizes([2, 0])
+
+
+class TestQftIaIeGates:
+    def test_ia_gates_are_a_local_qft(self):
+        gates = qft_ia_gates(range(2, 5))
+        hs = [g for g in gates if g.kind == GateKind.H]
+        cps = [g for g in gates if g.kind == GateKind.CPHASE]
+        assert [g.qubits[0] for g in hs] == [2, 3, 4]
+        assert {g.qubits for g in cps} == {(2, 3), (2, 4), (3, 4)}
+
+    def test_ie_gates_cover_the_cross_product(self):
+        gates = qft_ie_gates(range(0, 2), range(2, 4))
+        assert {g.qubits for g in gates} == {(0, 2), (0, 3), (1, 2), (1, 3)}
+
+    def test_ie_relaxed_only_reorders(self):
+        strict = qft_ie_gates(range(0, 3), range(3, 6), relaxed_order=False)
+        relaxed = qft_ie_gates(range(0, 3), range(3, 6), relaxed_order=True)
+        assert {g.qubits for g in strict} == {g.qubits for g in relaxed}
+        assert [g.qubits for g in strict] != [g.qubits for g in relaxed]
+
+
+class TestPartitionedQft:
+    @pytest.mark.parametrize("n,k", [(4, 2), (5, 2), (6, 3), (8, 4), (7, 3)])
+    def test_same_gate_multiset_as_textbook(self, n, k):
+        base = qft_circuit(n)
+        part = qft_partitioned(n, k=k)
+        assert part.count(GateKind.H) == base.count(GateKind.H)
+        assert part.interaction_pairs() == base.interaction_pairs()
+
+    @pytest.mark.parametrize("n,k", [(3, 2), (4, 2), (5, 2), (5, 3), (6, 3)])
+    def test_unitary_equivalent_to_textbook(self, n, k):
+        u1 = circuit_unitary(qft_circuit(n))
+        u2 = circuit_unitary(qft_partitioned(n, k=k))
+        assert unitaries_equal_up_to_phase(u1, u2)
+
+    @pytest.mark.parametrize("relaxed", [False, True])
+    def test_relaxed_ie_is_also_equivalent(self, relaxed):
+        u1 = circuit_unitary(qft_circuit(6))
+        u2 = circuit_unitary(qft_partitioned(6, k=3, relaxed_ie=relaxed))
+        assert unitaries_equal_up_to_phase(u1, u2)
+
+    def test_nested_partition(self):
+        inner = PartitionRange(0, 4, [PartitionRange(0, 2), PartitionRange(2, 4)])
+        outer = PartitionRange(0, 6, [inner, PartitionRange(4, 6)])
+        u1 = circuit_unitary(qft_circuit(6))
+        u2 = circuit_unitary(qft_partitioned(6, outer))
+        assert unitaries_equal_up_to_phase(u1, u2)
+
+    def test_no_partition_returns_textbook(self):
+        assert [g.qubits for g in qft_partitioned(5)] == [
+            g.qubits for g in qft_circuit(5)
+        ]
+
+    def test_partition_must_cover_all_qubits(self):
+        with pytest.raises(ValueError):
+            qft_partitioned(6, PartitionRange(0, 4))
+
+    def test_mutually_exclusive_selectors(self):
+        with pytest.raises(ValueError):
+            qft_partitioned(6, k=2, sizes=[3, 3])
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=6),
+        data=st.data(),
+    )
+    def test_random_partitions_preserve_the_unitary(self, n, data):
+        # draw a random composition of n into parts
+        sizes = []
+        remaining = n
+        while remaining > 0:
+            s = data.draw(st.integers(min_value=1, max_value=remaining))
+            sizes.append(s)
+            remaining -= s
+        circ = qft_partitioned(n, sizes=sizes)
+        u1 = circuit_unitary(qft_circuit(n))
+        u2 = circuit_unitary(circ)
+        assert unitaries_equal_up_to_phase(u1, u2)

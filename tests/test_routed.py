@@ -1,0 +1,107 @@
+"""Tests for routed completion and the greedy-router baseline."""
+
+import pytest
+
+from conftest import assert_valid_qft
+from repro.arch import CaterpillarTopology, GridTopology, LNNTopology, SycamoreTopology, Topology
+from repro.circuit import MappingBuilder
+from repro.core import GreedyRouterMapper, QFTDependenceTracker, complete_remaining
+from repro.core.routed import finish_hadamards
+
+
+class TestCompleteRemaining:
+    def test_completes_whole_kernel_from_scratch(self):
+        topo = GridTopology(3, 3)
+        builder = MappingBuilder(topo, list(range(9)), num_logical=9)
+        tracker = QFTDependenceTracker(9)
+        swaps = complete_remaining(builder, tracker)
+        finish_hadamards(builder, tracker)
+        assert tracker.all_done()
+        assert swaps >= 0
+        assert_valid_qft(builder.build(), 9)
+
+    def test_completes_selected_pairs_only(self):
+        topo = LNNTopology(5)
+        builder = MappingBuilder(topo, list(range(5)), num_logical=5)
+        tracker = QFTDependenceTracker(5)
+        complete_remaining(builder, tracker, pairs=[(0, 4)])
+        assert tracker.pair_is_done(0, 4)
+        assert not tracker.pair_is_done(1, 2)
+
+    def test_pulls_in_blocking_pairs_automatically(self):
+        # completing (1, 2) requires (0, 1) and (0, 2) first (H(1) depends on
+        # (0,1)); complete_remaining must discover that on its own
+        topo = LNNTopology(3)
+        builder = MappingBuilder(topo, [0, 1, 2], num_logical=3)
+        tracker = QFTDependenceTracker(3)
+        complete_remaining(builder, tracker, pairs=[(1, 2)])
+        assert tracker.pair_is_done(1, 2)
+        assert tracker.pair_is_done(0, 1)
+
+    def test_already_done_pairs_are_skipped(self):
+        topo = LNNTopology(3)
+        builder = MappingBuilder(topo, [0, 1, 2], num_logical=3)
+        tracker = QFTDependenceTracker(3)
+        complete_remaining(builder, tracker)
+        ops_before = len(builder.ops)
+        swaps = complete_remaining(builder, tracker)
+        assert swaps == 0
+        assert len(builder.ops) == ops_before
+
+    def test_finish_hadamards_emits_remaining(self):
+        topo = LNNTopology(2)
+        builder = MappingBuilder(topo, [0, 1], num_logical=2)
+        tracker = QFTDependenceTracker(2)
+        complete_remaining(builder, tracker)
+        emitted = finish_hadamards(builder, tracker)
+        assert tracker.all_done()
+        assert emitted >= 1
+
+
+class TestGreedyRouter:
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [
+            lambda: LNNTopology(6),
+            lambda: GridTopology(3, 3),
+            lambda: SycamoreTopology(4),
+            lambda: CaterpillarTopology.regular_groups(2),
+        ],
+        ids=["lnn6", "grid3x3", "sycamore4", "caterpillar10"],
+    )
+    def test_correct_on_every_architecture(self, topo_factory):
+        topo = topo_factory()
+        mapped = GreedyRouterMapper(topo).map_qft()
+        assert_valid_qft(mapped, topo.num_qubits, statevector_limit=6)
+
+    def test_strict_textbook_order(self):
+        from repro.verify import check_mapped_qft_structure
+
+        topo = LNNTopology(5)
+        mapped = GreedyRouterMapper(topo).map_qft()
+        assert check_mapped_qft_structure(mapped, 5, strict_order=True).ok
+
+    def test_respects_custom_initial_layout(self):
+        topo = GridTopology(2, 3)
+        layout = [5, 4, 3, 2, 1, 0]
+        mapped = GreedyRouterMapper(topo, initial_layout=layout).map_qft()
+        assert mapped.initial_layout == layout
+        assert_valid_qft(mapped, 6)
+
+    def test_partial_kernel(self):
+        topo = GridTopology(3, 3)
+        mapped = GreedyRouterMapper(topo).map_qft(4)
+        assert mapped.num_logical == 4
+        assert_valid_qft(mapped, 4)
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            GreedyRouterMapper(LNNTopology(3)).map_qft(5)
+
+    def test_is_worse_than_the_domain_specific_mapper(self):
+        from repro.core import compile_qft
+
+        topo = GridTopology(4, 4)
+        greedy = GreedyRouterMapper(topo).map_qft()
+        ours = compile_qft(topo)
+        assert ours.depth() < greedy.depth()

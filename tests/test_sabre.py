@@ -1,0 +1,111 @@
+"""Tests for the SABRE baseline re-implementation."""
+
+import pytest
+
+from conftest import assert_valid_qft
+from repro.arch import (
+    CaterpillarTopology,
+    GridTopology,
+    LatticeSurgeryTopology,
+    LNNTopology,
+    SycamoreTopology,
+)
+from repro.baselines import SabreMapper
+from repro.circuit import Circuit, qft_circuit
+from repro.verify import check_mapped_qft_structure
+
+
+class TestSabreCorrectness:
+    @pytest.mark.parametrize(
+        "topo_factory",
+        [
+            lambda: LNNTopology(6),
+            lambda: GridTopology(3, 3),
+            lambda: SycamoreTopology(4),
+            lambda: CaterpillarTopology.regular_groups(2),
+            lambda: LatticeSurgeryTopology(4),
+        ],
+        ids=["lnn6", "grid3x3", "sycamore4", "caterpillar10", "lattice4"],
+    )
+    def test_produces_correct_qft(self, topo_factory):
+        topo = topo_factory()
+        mapped = SabreMapper(topo, seed=3).map_qft()
+        assert_valid_qft(mapped, topo.num_qubits, statevector_limit=6)
+
+    def test_preserves_strict_textbook_order(self):
+        topo = GridTopology(2, 3)
+        mapped = SabreMapper(topo, seed=1).map_qft()
+        assert check_mapped_qft_structure(mapped, 6, strict_order=True).ok
+
+    def test_all_two_qubit_ops_respect_coupling(self):
+        topo = SycamoreTopology(4)
+        mapped = SabreMapper(topo, seed=2).map_qft()
+        for op in mapped.ops:
+            if op.is_two_qubit:
+                assert topo.has_edge(*op.physical)
+
+    def test_partial_kernel_on_larger_device(self):
+        topo = GridTopology(3, 3)
+        mapped = SabreMapper(topo, seed=0).map_qft(5)
+        assert mapped.num_logical == 5
+        assert_valid_qft(mapped, 5, statevector_limit=5)
+
+    def test_arbitrary_circuit_not_just_qft(self):
+        topo = LNNTopology(4)
+        circ = Circuit(4).h(0).cnot(0, 3).cnot(1, 2).cphase(0, 2, 0.5).h(3)
+        mapped = SabreMapper(topo, seed=1).map_circuit(circ)
+        # every original gate appears, plus inserted SWAPs
+        assert mapped.cphase_count() == 1
+        assert len([op for op in mapped.ops if op.kind == "cnot"]) == 2
+
+    def test_rejects_oversubscription(self):
+        with pytest.raises(ValueError):
+            SabreMapper(LNNTopology(3)).map_qft(4)
+
+
+class TestSabreBehaviour:
+    def test_deterministic_for_fixed_seed(self):
+        topo = GridTopology(3, 3)
+        a = SabreMapper(topo, seed=7).map_qft()
+        b = SabreMapper(topo, seed=7).map_qft()
+        assert a.swap_count() == b.swap_count()
+        assert a.unit_depth() == b.unit_depth()
+        assert [op.physical for op in a.ops] == [op.physical for op in b.ops]
+
+    def test_output_varies_across_seeds(self):
+        """Figure 27: SABRE's result depends on the random seed."""
+
+        topo = GridTopology(3, 3)
+        metrics = {
+            (SabreMapper(topo, seed=s).map_qft().swap_count(),
+             SabreMapper(topo, seed=s).map_qft().unit_depth())
+            for s in range(6)
+        }
+        assert len(metrics) > 1
+
+    def test_trivial_initial_layout_option(self):
+        topo = LNNTopology(5)
+        mapped = SabreMapper(topo, seed=0, trivial_initial_layout=True, passes=1).map_qft()
+        assert mapped.initial_layout == [0, 1, 2, 3, 4]
+
+    def test_more_passes_never_breaks_correctness(self):
+        topo = GridTopology(3, 3)
+        for passes in (1, 2, 3, 5):
+            mapped = SabreMapper(topo, seed=4, passes=passes).map_qft()
+            assert check_mapped_qft_structure(mapped, 9).ok
+
+    def test_swap_count_recorded_in_metadata(self):
+        topo = GridTopology(3, 3)
+        mapped = SabreMapper(topo, seed=1).map_qft()
+        assert mapped.metadata["mapper"] == "sabre"
+        assert mapped.metadata["seed"] == 1
+
+    def test_sabre_needs_more_swaps_than_ours_at_scale(self):
+        """The paper's headline: the analytical mapper wins as size grows."""
+
+        from repro.core import compile_qft
+
+        topo = LatticeSurgeryTopology(6)
+        ours = compile_qft(topo)
+        sabre = SabreMapper(topo, seed=0).map_qft()
+        assert ours.depth() < sabre.depth()

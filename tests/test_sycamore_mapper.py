@@ -1,0 +1,75 @@
+"""Tests for the Sycamore unit-based mapper (Section 5)."""
+
+import pytest
+
+from conftest import assert_valid_qft
+from repro.arch import GridTopology, SycamoreTopology
+from repro.circuit import GateKind
+from repro.core import SycamoreQFTMapper
+
+
+class TestSycamoreMapper:
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    def test_produces_verified_qft(self, m):
+        topo = SycamoreTopology(m)
+        mapped = SycamoreQFTMapper(topo).map_qft()
+        assert_valid_qft(mapped, topo.num_qubits)
+
+    @pytest.mark.parametrize("m", [2, 4, 6, 8])
+    def test_no_routed_fallback_on_sycamore(self, m):
+        mapped = SycamoreQFTMapper(SycamoreTopology(m)).map_qft()
+        assert mapped.metadata["final_fallback_swaps"] == 0
+        assert mapped.metadata["ie_fallback_swaps"] == 0
+        assert mapped.metadata["ia_fallback_swaps"] == 0
+
+    @pytest.mark.parametrize("m", [4, 6, 8, 10])
+    def test_depth_is_linear_in_qubit_count(self, m):
+        topo = SycamoreTopology(m)
+        n = topo.num_qubits
+        mapped = SycamoreQFTMapper(topo).map_qft()
+        # paper: 7N + O(sqrt N); allow implementation slack but stay linear
+        assert mapped.depth() <= 12 * n + 40
+
+    def test_cphase_count_matches_kernel(self):
+        topo = SycamoreTopology(6)
+        mapped = SycamoreQFTMapper(topo).map_qft()
+        n = topo.num_qubits
+        assert mapped.cphase_count() == n * (n - 1) // 2
+
+    def test_unit_swaps_are_three_layers_of_transversal_swaps(self):
+        topo = SycamoreTopology(4)
+        mapped = SycamoreQFTMapper(topo).map_qft()
+        unit_swap_count = mapped.swaps_by_tag().get("unit-swap", 0)
+        # each unit swap exchanges two 2m-qubit units with 4m SWAPs in 3 layers
+        # (the four parallelSWAP groups of Section 5)
+        assert unit_swap_count % (4 * topo.m) == 0
+        assert mapped.metadata["unit_swaps"] == unit_swap_count // (4 * topo.m)
+
+    def test_strict_ie_variant_is_correct_but_deeper(self):
+        topo = SycamoreTopology(4)
+        relaxed = SycamoreQFTMapper(topo, strict_ie=False).map_qft()
+        strict = SycamoreQFTMapper(topo, strict_ie=True).map_qft()
+        assert_valid_qft(strict, topo.num_qubits)
+        assert strict.depth() >= 1.5 * relaxed.depth()
+
+    def test_partial_mapping_not_supported(self):
+        topo = SycamoreTopology(4)
+        with pytest.raises(ValueError):
+            SycamoreQFTMapper(topo).map_qft(5)
+
+    def test_requires_sycamore_topology(self):
+        with pytest.raises(TypeError):
+            SycamoreQFTMapper(GridTopology(4, 4))
+
+    def test_two_qubit_ops_respect_coupling(self):
+        topo = SycamoreTopology(4)
+        mapped = SycamoreQFTMapper(topo).map_qft()
+        for op in mapped.ops:
+            if op.is_two_qubit:
+                assert topo.has_edge(*op.physical)
+
+    def test_ia_and_ie_phases_both_present(self):
+        topo = SycamoreTopology(4)
+        mapped = SycamoreQFTMapper(topo).map_qft()
+        tags = {op.tag for op in mapped.ops if op.kind == GateKind.CPHASE}
+        assert "ia" in tags and "ie" in tags

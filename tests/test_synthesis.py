@@ -1,0 +1,147 @@
+"""Tests for the program-synthesis substrate (Appendix 5 / 7)."""
+
+import pytest
+
+from repro.synthesis import (
+    Affine,
+    Hole,
+    MinExpr,
+    Sketch,
+    SynthesisTimeout,
+    all_cross_pairs,
+    covers_all_but_same_column,
+    covers_all_pairs,
+    grid_ie_sketch,
+    grid_vertical_links,
+    same_start_pairs,
+    simulate_two_line_pattern,
+    sycamore_ie_sketch,
+    sycamore_links,
+    synthesize_grid_ie,
+    synthesize_sycamore_ie,
+)
+
+
+class TestHolesAndAffine:
+    def test_hole_domain(self):
+        h = Hole("x", -1, 2)
+        assert list(h.domain) == [-1, 0, 1, 2]
+
+    def test_hole_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Hole("x", 3, 1)
+
+    def test_affine_evaluation_with_constants(self):
+        e = Affine(2, (("m", 3),))
+        assert e.evaluate({"m": 4}, {}) == 14
+
+    def test_affine_evaluation_with_holes(self):
+        c = Hole("c", 0, 5)
+        e = Affine(c, (("i", Hole("a", 0, 3)),))
+        assert e.evaluate({"i": 2}, {"c": 1, "a": 2}) == 5
+        assert sorted(h.name for h in e.holes()) == ["a", "c"]
+
+    def test_affine_unbound_variable(self):
+        e = Affine(0, (("m", 1),))
+        with pytest.raises(KeyError):
+            e.evaluate({}, {})
+
+    def test_min_expr(self):
+        e = MinExpr((Affine(3), Affine(0, (("i", 1),))))
+        assert e.evaluate({"i": 7}, {}) == 3
+        assert e.evaluate({"i": 1}, {}) == 1
+
+
+class TestSimulation:
+    def test_same_column_links_synced_only_cover_diagonal(self):
+        covered = simulate_two_line_pattern(4, grid_vertical_links(4), 0, 0, 4)
+        assert covered == same_start_pairs(4)
+
+    def test_same_column_links_offset_cover_everything(self):
+        covered = simulate_two_line_pattern(4, grid_vertical_links(4), 0, 1, 4)
+        assert covers_all_pairs(covered, 4)
+
+    @pytest.mark.parametrize("L", [2, 4, 6, 8, 10])
+    def test_sycamore_links_synced_cover_all_but_same_column(self, L):
+        covered = simulate_two_line_pattern(L, sycamore_links(L), 0, 0, L)
+        assert covers_all_but_same_column(covered, L)
+        assert not covers_all_pairs(covered, L)
+
+    def test_out_of_range_link_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_two_line_pattern(3, [(0, 5)], 0, 0, 3)
+
+    def test_all_cross_pairs_count(self):
+        assert len(all_cross_pairs(5)) == 25
+        assert len(same_start_pairs(5)) == 5
+
+
+class TestSketchSolver:
+    def test_sycamore_sketch_finds_the_synced_solution(self):
+        result = synthesize_sycamore_ie()
+        assert result.found
+        sol = result.first
+        assert sol["offset_a"] == sol["offset_b"], "Sycamore travel paths are synced"
+        assert sol["rounds_coeff"] >= 1
+
+    def test_grid_sketch_finds_the_one_step_late_solution(self):
+        result = synthesize_grid_ie()
+        assert result.found
+        sol = result.first
+        assert abs(sol["offset_a"] - sol["offset_b"]) == 1, (
+            "the grid pattern requires the second row to start one step late"
+        )
+
+    def test_grid_all_solutions_have_offset_difference_one(self):
+        result = synthesize_grid_ie(find_all=True)
+        assert result.solutions
+        assert all(abs(s["offset_a"] - s["offset_b"]) == 1 for s in result.solutions)
+
+    def test_synced_grid_spec_is_unsatisfiable(self):
+        """Forcing both rows to the same offset makes the grid spec unsat --
+        the experimental confirmation of the Appendix 7 discussion."""
+
+        sketch = grid_ie_sketch()
+        forced = Sketch(
+            name="grid-synced",
+            holes=[h for h in sketch.holes if not h.name.startswith("offset")],
+            template=lambda assignment, params: sketch.template(
+                {**assignment, "offset_a": 0, "offset_b": 0}, params
+            ),
+            spec=sketch.spec,
+        )
+        result = forced.solve([{"L": 4}, {"L": 6}], find_all=True)
+        assert not result.found
+
+    def test_solution_generalises_to_unseen_sizes(self):
+        result = synthesize_grid_ie(lengths=(4, 6))
+        sol = result.first
+        sketch = grid_ie_sketch()
+        assert sketch.check(sol, [{"L": 12}, {"L": 16}])
+
+    def test_search_space_size(self):
+        assert sycamore_ie_sketch().search_space_size() == 2 * 2 * 3 * 3
+
+    def test_explored_counter(self):
+        result = synthesize_sycamore_ie(lengths=(4,))
+        assert 1 <= result.explored <= sycamore_ie_sketch().search_space_size()
+
+    def test_duplicate_hole_names_rejected(self):
+        with pytest.raises(ValueError):
+            Sketch("bad", [Hole("x", 0, 1), Hole("x", 0, 1)], lambda a, p: None, lambda a, p: True)
+
+    def test_solver_requires_parameters(self):
+        with pytest.raises(ValueError):
+            sycamore_ie_sketch().solve([])
+
+    def test_timeout(self):
+        slow = Sketch(
+            name="slow",
+            holes=[Hole("a", 0, 50), Hole("b", 0, 50), Hole("c", 0, 50)],
+            template=lambda assignment, params: sum(
+                i for i in range(20000)
+            ),  # busy work per candidate
+            spec=lambda artifact, params: False,
+        )
+        with pytest.raises(SynthesisTimeout):
+            slow.solve([{"L": 4}], timeout_s=0.05)

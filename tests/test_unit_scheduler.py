@@ -1,0 +1,108 @@
+"""Tests for the unit-level scheduler (Fig. 14 replay)."""
+
+import pytest
+
+from repro.core import UnitLevelScheduler
+
+
+class Recorder:
+    """Mock primitives that record the order of unit-level operations."""
+
+    def __init__(self, num_units):
+        self.num_units = num_units
+        self.log = []
+        # slot -> logical unit, mirrors what the scheduler should maintain
+        self.slots = list(range(num_units))
+
+    def ia(self, slot):
+        self.log.append(("ia", self.slots[slot]))
+        return {"fallback_swaps": 0}
+
+    def ie(self, a, b):
+        ua, ub = sorted((self.slots[a], self.slots[b]))
+        self.log.append(("ie", ua, ub))
+        return {"fallback_swaps": 0}
+
+    def unit_swap(self, a, b):
+        self.log.append(("swap", a, b))
+        self.slots[a], self.slots[b] = self.slots[b], self.slots[a]
+
+
+class TestUnitLevelScheduler:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 6, 9])
+    def test_each_unit_pair_interacts_exactly_once(self, k):
+        rec = Recorder(k)
+        sched = UnitLevelScheduler(k, rec.ia, rec.ie, rec.unit_swap)
+        stats = sched.run()
+        ies = [e for e in rec.log if e[0] == "ie"]
+        assert len(ies) == k * (k - 1) // 2
+        assert len(set(ies)) == len(ies)
+        assert stats["ie_calls"] == len(ies)
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 7])
+    def test_each_unit_gets_exactly_one_ia(self, k):
+        rec = Recorder(k)
+        UnitLevelScheduler(k, rec.ia, rec.ie, rec.unit_swap).run()
+        ias = [e[1] for e in rec.log if e[0] == "ia"]
+        assert sorted(ias) == list(range(k))
+
+    @pytest.mark.parametrize("k", [2, 3, 5, 8])
+    def test_unit_level_type2_dependence(self, k):
+        """IA(U_i) precedes IE(U_i, U_j) which precedes IA(U_j), for i < j."""
+
+        rec = Recorder(k)
+        UnitLevelScheduler(k, rec.ia, rec.ie, rec.unit_swap).run()
+        ia_time = {}
+        ie_time = {}
+        for t, entry in enumerate(rec.log):
+            if entry[0] == "ia":
+                ia_time[entry[1]] = t
+            elif entry[0] == "ie":
+                ie_time[(entry[1], entry[2])] = t
+        for (i, j), t in ie_time.items():
+            assert ia_time[i] < t < ia_time[j]
+
+    def test_unit_swaps_only_between_adjacent_slots(self):
+        rec = Recorder(6)
+        UnitLevelScheduler(6, rec.ia, rec.ie, rec.unit_swap).run()
+        for entry in rec.log:
+            if entry[0] == "swap":
+                assert abs(entry[1] - entry[2]) == 1
+
+    def test_ie_only_between_adjacent_slots(self):
+        k = 5
+        rec = Recorder(k)
+
+        calls = []
+
+        def ie(a, b):
+            calls.append((a, b))
+            return rec.ie(a, b)
+
+        UnitLevelScheduler(k, rec.ia, ie, rec.unit_swap).run()
+        for a, b in calls:
+            assert abs(a - b) == 1
+
+    def test_single_unit_only_runs_ia(self):
+        rec = Recorder(1)
+        stats = UnitLevelScheduler(1, rec.ia, rec.ie, rec.unit_swap).run()
+        assert rec.log == [("ia", 0)]
+        assert stats["unit_swaps"] == 0
+
+    def test_fallback_counters_propagate(self):
+        def ia(slot):
+            return {"fallback_swaps": 2}
+
+        def ie(a, b):
+            return {"fallback_swaps": 1}
+
+        def unit_swap(a, b):
+            pass
+
+        stats = UnitLevelScheduler(3, ia, ie, unit_swap).run()
+        assert stats["ia_fallback_swaps"] == 2 * 3
+        assert stats["ie_fallback_swaps"] == 1 * 3
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            UnitLevelScheduler(0, lambda s: None, lambda a, b: None, lambda a, b: None)
