@@ -10,8 +10,12 @@ compilation time *and* output quality.
 
 Environment knobs:
 
-* ``REPRO_BENCH_FULL=1``    -- run the paper-sized sweeps (SABRE at hundreds of
-  qubits; expect hours with the pure-Python SABRE).
+* ``REPRO_BENCH_FULL=1``    -- run the paper-sized sweeps (SABRE at hundreds
+  of qubits).  The vectorized SABRE core (numpy batch scoring, see
+  ``repro.baselines.sabre``) makes these ~6x faster than the seed's
+  pure-Python loop; for multi-core machines and incremental re-runs, prefer
+  ``python -m repro.eval --profile paper --jobs N --cache DIR``, which fans
+  cells out over processes and skips anything already computed.
 """
 
 from __future__ import annotations
@@ -36,6 +40,10 @@ def bench_cell(benchmark, approach: str, kind: str, size: int, **kwargs):
 
     benchmark.pedantic(compile_once, rounds=1, iterations=1)
     result = result_holder["result"]
+    # run_cell reports bad cells (e.g. invalid architecture size) as
+    # status="error" instead of raising; a benchmark timing a no-op must
+    # still fail loudly.
+    assert result.status != "error", f"benchmark cell failed: {result.message}"
     benchmark.extra_info["approach"] = result.approach
     benchmark.extra_info["architecture"] = result.architecture
     benchmark.extra_info["qubits"] = result.num_qubits

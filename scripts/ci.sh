@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: run exactly what the tier-1 gate runs, from the repo root,
+# plus a quick end-to-end eval smoke test.
+#
+# Running from the repo root is the point -- the seed repo only passed when
+# pytest was invoked from inside tests/, and that class of collection bug
+# (conftest shadowing, missing pytest config) must fail CI loudly.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== tier-1: pytest from the repo root ==="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
+
+echo
+echo "=== eval smoke: fig27 seed sweep through the parallel harness ==="
+cache_dir=$(mktemp -d)
+trap 'rm -rf "$cache_dir"' EXIT
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python -m repro.eval -e fig27 --jobs 2 --cache "$cache_dir"
+# warm re-run must be served entirely from the cache (any hit count, 0 misses)
+warm_out=$(PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+    python -m repro.eval -e fig27 --jobs 2 --cache "$cache_dir")
+echo "$warm_out" | tail -2
+echo "$warm_out" | grep -Eq "cache: [0-9]+ hits, 0 misses" || {
+    echo "ci.sh: FAIL — warm re-run was not fully served from the cache" >&2
+    exit 1
+}
+
+echo
+echo "ci.sh: all green"

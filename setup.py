@@ -1,8 +1,11 @@
 """Setuptools shim.
 
-The project is fully described by ``pyproject.toml``; this file only exists so
-that ``pip install -e .`` works in offline environments whose setuptools/pip
-lack the PEP 660 editable-wheel path (no ``wheel`` package available).
+The project is fully described by ``pyproject.toml`` (metadata, src-layout
+package discovery, pytest configuration); this file only exists so that
+legacy tooling which still invokes ``setup.py`` directly keeps working.
+Environments without the ``wheel`` package (or setuptools >= 70) cannot do
+editable installs at all -- there, run with ``PYTHONPATH=src`` instead, which
+is how the tier-1 test command works out of the box.
 """
 
 from setuptools import setup

@@ -1,6 +1,6 @@
 """Hardware architectures (coupling graphs and cost models)."""
 
-from .topology import Topology
+from .topology import Topology, clear_distance_cache
 from .lnn import LNNTopology
 from .grid import GridTopology, TwoRowTopology
 from .sycamore import SycamoreTopology
@@ -9,6 +9,7 @@ from .lattice_surgery import LatticeSurgeryTopology
 
 __all__ = [
     "Topology",
+    "clear_distance_cache",
     "LNNTopology",
     "GridTopology",
     "TwoRowTopology",

@@ -19,6 +19,7 @@ full distance matrix and pure-Python BFS would dominate its runtime.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -29,9 +30,26 @@ from scipy.sparse.csgraph import shortest_path
 
 from ..circuit.gates import GateKind, Op
 
-__all__ = ["Topology", "Edge"]
+__all__ = ["Topology", "Edge", "clear_distance_cache"]
 
 Edge = Tuple[int, int]
+
+# Process-wide cache of all-pairs distance matrices keyed by the coupling
+# graph itself.  Evaluation sweeps (and SABRE seed sweeps in particular)
+# rebuild the same Topology object for every cell; sharing the matrix across
+# instances means Dijkstra runs once per distinct graph per process.  Matrices
+# are marked read-only so shared instances cannot corrupt each other.  The
+# cache is LRU-bounded: a paper-profile sweep touches dozens of graphs up to
+# 1024 qubits (8 MB of float64 each), and an unbounded dict would pin them
+# all for the life of the process.
+_DIST_CACHE: "OrderedDict[Tuple[int, FrozenSet[Edge]], np.ndarray]" = OrderedDict()
+_DIST_CACHE_MAX = 16
+
+
+def clear_distance_cache() -> None:
+    """Drop all cached distance matrices (mainly for tests/memory pressure)."""
+
+    _DIST_CACHE.clear()
 
 
 def _norm_edge(a: int, b: int) -> Edge:
@@ -113,15 +131,24 @@ class Topology:
         """All-pairs unweighted shortest-path distances (int matrix)."""
 
         if self._dist is None:
-            rows, cols = [], []
-            for a, b in self._edges:
-                rows.extend((a, b))
-                cols.extend((b, a))
-            data = np.ones(len(rows), dtype=np.int8)
-            mat = csr_matrix(
-                (data, (rows, cols)), shape=(self.num_qubits, self.num_qubits)
-            )
-            dist = shortest_path(mat, method="D", unweighted=True, directed=False)
+            key = (self.num_qubits, self._edges)
+            dist = _DIST_CACHE.get(key)
+            if dist is None:
+                rows, cols = [], []
+                for a, b in self._edges:
+                    rows.extend((a, b))
+                    cols.extend((b, a))
+                data = np.ones(len(rows), dtype=np.int8)
+                mat = csr_matrix(
+                    (data, (rows, cols)), shape=(self.num_qubits, self.num_qubits)
+                )
+                dist = shortest_path(mat, method="D", unweighted=True, directed=False)
+                dist.setflags(write=False)
+                _DIST_CACHE[key] = dist
+                if len(_DIST_CACHE) > _DIST_CACHE_MAX:
+                    _DIST_CACHE.popitem(last=False)
+            else:
+                _DIST_CACHE.move_to_end(key)
             self._dist = dist
         return self._dist
 

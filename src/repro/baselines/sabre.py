@@ -58,6 +58,38 @@ class _Dag:
         return cls(len(circuit.gates), successors, indegree)
 
 
+def _extended_set_of(
+    successors: List[List[int]],
+    is2q: List[bool],
+    front_2q: List[int],
+    size: int,
+) -> List[int]:
+    """Look-ahead extended set: BFS over DAG successors of the front layer,
+    collecting up to ``size`` two-qubit gates.  Layout-independent, shared by
+    the reference and vectorized routing paths so they cannot drift apart.
+    """
+
+    out: List[int] = []
+    frontier = list(front_2q)
+    seen = set(front_2q)
+    while frontier and len(out) < size:
+        nxt: List[int] = []
+        for g in frontier:
+            for s in successors[g]:
+                if s in seen:
+                    continue
+                seen.add(s)
+                if is2q[s]:
+                    out.append(s)
+                    if len(out) >= size:
+                        break
+                nxt.append(s)
+            if len(out) >= size:
+                break
+        frontier = nxt
+    return out
+
+
 class SabreMapper:
     """SABRE-style heuristic mapper.
 
@@ -77,6 +109,12 @@ class SabreMapper:
         Weight of the extended-set term in the heuristic.
     decay_delta / decay_reset_interval:
         Decay-factor parameters from the SABRE paper.
+    vectorized:
+        Score candidate SWAPs with numpy batch lookups against the distance
+        matrix (default).  ``False`` selects the original per-candidate
+        Python loop; both paths produce bit-identical routed circuits (the
+        equivalence is covered by tests), the reference path just exists for
+        cross-checking and for pedagogical clarity.
     """
 
     name = "sabre"
@@ -92,6 +130,7 @@ class SabreMapper:
         decay_delta: float = 0.001,
         decay_reset_interval: int = 5,
         trivial_initial_layout: bool = False,
+        vectorized: bool = True,
     ) -> None:
         self.topology = topology
         self.seed = seed
@@ -101,7 +140,12 @@ class SabreMapper:
         self.decay_delta = decay_delta
         self.decay_reset_interval = decay_reset_interval
         self.trivial_initial_layout = trivial_initial_layout
+        self.vectorized = vectorized
         self._dist = topology.distance_matrix()
+        self._adj_mask: Optional[np.ndarray] = None
+        self._incident: Optional[
+            Tuple[List[Tuple[int, int]], np.ndarray, np.ndarray]
+        ] = None
 
     # ------------------------------------------------------------------
     def map_qft(self, num_qubits: Optional[int] = None) -> MappedCircuit:
@@ -137,6 +181,32 @@ class SabreMapper:
 
     # ------------------------------------------------------------------
     def _route(
+        self,
+        circuit: Circuit,
+        initial_layout: Sequence[int],
+        rng: random.Random,
+        *,
+        emit: bool,
+    ) -> Tuple[Optional[MappingBuilder], List[int]]:
+        """Route one traversal pass; dispatches to the fast or reference path.
+
+        Both paths follow the identical algorithm (same execution order, same
+        candidate enumeration, same float arithmetic, same RNG consumption),
+        so they produce bit-identical routed circuits; the fast path batches
+        the per-candidate scoring and executability checks through numpy.
+        The fast path assumes executing a gate never changes the layout
+        mid-sweep, which fails for circuits containing *logical* SWAP gates
+        -- those fall back to the reference path.
+        """
+
+        if self.vectorized and not any(
+            g.kind == GateKind.SWAP for g in circuit.gates
+        ):
+            return self._route_fast(circuit, initial_layout, rng, emit=emit)
+        return self._route_reference(circuit, initial_layout, rng, emit=emit)
+
+    # ------------------------------------------------------------------
+    def _route_reference(
         self,
         circuit: Circuit,
         initial_layout: Sequence[int],
@@ -218,26 +288,12 @@ class SabreMapper:
             elif pa in phys_to_log:
                 del phys_to_log[pa]
 
+        is2q_list = [g.is_two_qubit for g in gates]
+
         def extended_set(front_2q: List[int]) -> List[int]:
-            out: List[int] = []
-            frontier = list(front_2q)
-            seen = set(front_2q)
-            while frontier and len(out) < self.extended_set_size:
-                nxt: List[int] = []
-                for g in frontier:
-                    for s in dag.successors[g]:
-                        if s in seen:
-                            continue
-                        seen.add(s)
-                        if gates[s].is_two_qubit:
-                            out.append(s)
-                            if len(out) >= self.extended_set_size:
-                                break
-                        nxt.append(s)
-                    if len(out) >= self.extended_set_size:
-                        break
-                frontier = nxt
-            return out
+            return _extended_set_of(
+                dag.successors, is2q_list, front_2q, self.extended_set_size
+            )
 
         def heuristic(front_2q: List[int], ext: List[int], pa: int, pb: int) -> float:
             # Score the layout obtained by swapping (pa, pb).
@@ -313,6 +369,304 @@ class SabreMapper:
             if swaps_since_reset >= self.decay_reset_interval:
                 decay[:] = 1.0
                 swaps_since_reset = 0
+
+        final_layout = list(log_to_phys)
+        return builder, final_layout
+
+    # ------------------------------------------------------------------
+    def _adjacency_mask(self) -> np.ndarray:
+        """Boolean coupling matrix (lazy, shared across routing passes)."""
+
+        if self._adj_mask is None:
+            n = self.topology.num_qubits
+            mask = np.zeros((n, n), dtype=bool)
+            for a, b in self.topology.edge_set:
+                mask[a, b] = mask[b, a] = True
+            self._adj_mask = mask
+        return self._adj_mask
+
+    def _edge_tables(
+        self,
+    ) -> Tuple[List[Tuple[int, int]], np.ndarray, np.ndarray]:
+        """Edge ids in lexicographic order plus per-qubit incidence bitsets.
+
+        Edge id order equals ``sorted(edge_set)`` order, so an ascending array
+        of edge ids enumerates candidates exactly like the reference's
+        ``sorted(candidates)`` over (a, b) tuples.
+        """
+
+        if self._incident is None:
+            edge_list = sorted(self.topology.edge_set)
+            edge_arr = np.asarray(edge_list, dtype=np.intp)
+            # Incidence as little-endian bitsets: one row of bytes per qubit,
+            # bit eid set iff edge eid touches the qubit.  The union of
+            # incident edges over any qubit set is then a single
+            # bitwise_or.reduce + unpackbits, and ascending bit position ==
+            # lexicographic (a, b) edge order.
+            nbytes = (len(edge_list) + 7) // 8
+            edge_bits = np.zeros((self.topology.num_qubits, max(1, nbytes)), dtype=np.uint8)
+            for eid, (a, b) in enumerate(edge_list):
+                edge_bits[a, eid >> 3] |= 1 << (eid & 7)
+                edge_bits[b, eid >> 3] |= 1 << (eid & 7)
+            self._incident = (edge_list, edge_arr, edge_bits)
+        return self._incident
+
+    # ------------------------------------------------------------------
+    def _route_fast(
+        self,
+        circuit: Circuit,
+        initial_layout: Sequence[int],
+        rng: random.Random,
+        *,
+        emit: bool,
+    ) -> Tuple[Optional[MappingBuilder], List[int]]:
+        """Vectorised routing pass (no logical SWAPs; see :meth:`_route`).
+
+        Bit-identical to :meth:`_route_reference` by construction: gates are
+        executed in the same sorted-front sweep order, candidate SWAPs are
+        enumerated into the same sorted list, every distance sum is a sum of
+        integer-valued float64 entries (exact regardless of summation order),
+        and the scalar post-processing (divide, weight, decay, tie-break,
+        RNG draw) applies the same operations in the same order.
+        """
+
+        n = circuit.num_qubits
+        topo = self.topology
+        dist = self._dist
+        dist_flat = np.ascontiguousarray(dist).ravel()
+        dag = _Dag.from_circuit(circuit)
+        gates = circuit.gates
+        num_gates = len(gates)
+
+        builder = (
+            MappingBuilder(topo, initial_layout, num_logical=n, name=self.name)
+            if emit
+            else None
+        )
+        log_to_phys = list(initial_layout)
+        phys_to_log: Dict[int, int] = {p: l for l, p in enumerate(initial_layout)}
+        # numpy mirror of log_to_phys for batch gather
+        ltp = np.array(log_to_phys, dtype=np.intp)
+
+        # Static per-gate tables (logical endpoints; q1 == q0 for 1q gates).
+        gq0 = np.fromiter((g.qubits[0] for g in gates), dtype=np.intp, count=num_gates)
+        gq1 = np.fromiter((g.qubits[-1] for g in gates), dtype=np.intp, count=num_gates)
+        is2q = np.fromiter((g.is_two_qubit for g in gates), dtype=bool, count=num_gates)
+        is2q_list = is2q.tolist()  # python bools for scalar-indexed hot paths
+
+        adj1 = self._adjacency_mask()
+        edge_list, edge_arr, edge_bits = self._edge_tables()
+        num_edges = len(edge_list)
+
+        indegree = list(dag.indegree)
+        front: Set[int] = {i for i, d in enumerate(indegree) if d == 0}
+        decay = np.ones(topo.num_qubits)
+        swaps_since_reset = 0
+
+        front_dirty = True
+        front_2q: List[int] = []
+        ext: List[int] = []
+        fq0 = fq1 = None
+
+        def execute(idx: int) -> None:
+            nonlocal front_dirty
+            if emit:
+                g = gates[idx]
+                if g.kind == GateKind.H:
+                    builder.h(log_to_phys[g.qubits[0]], tag="sabre")
+                elif g.kind == GateKind.RZ:
+                    builder.rz(log_to_phys[g.qubits[0]], g.angle, tag="sabre")
+                elif g.kind == GateKind.CPHASE:
+                    a, b = g.qubits
+                    builder.cphase(log_to_phys[a], log_to_phys[b], g.angle, tag="sabre")
+                elif g.kind == GateKind.CNOT:
+                    a, b = g.qubits
+                    builder.cnot(log_to_phys[a], log_to_phys[b], tag="sabre")
+                else:  # pragma: no cover - defensive (SWAPs excluded by _route)
+                    raise ValueError(f"unsupported gate kind {g.kind!r}")
+            front.discard(idx)
+            for succ in dag.successors[idx]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    front.add(succ)
+            front_dirty = True
+
+        esize = self.extended_set_size
+        successors = dag.successors
+
+        def extended_set(front_2q: List[int]) -> List[int]:
+            return _extended_set_of(successors, is2q_list, front_2q, esize)
+
+        # Per-front cached scoring arrays (rebuilt only when `front` changes).
+        # The front term is delta-scored: front gates are vertex-disjoint (the
+        # DAG is built from per-qubit chains, so two front gates can never
+        # share a qubit), hence each physical position hosts at most one
+        # front-gate endpoint and a candidate swap (p, q) perturbs the front
+        # distance sum by at most two O(1) corrections.  The extended set may
+        # share qubits, so it keeps the batched relabel-and-gather path; it
+        # is capped at extended_set_size (20) gates, which bounds that matrix.
+        ext_q: Optional[np.ndarray] = None  # [a(ext) | b(ext)] logical ids
+        n_front = n_ext = 0
+        front_qubits: List[int] = []
+        N = topo.num_qubits
+        pos_other = np.zeros(N, dtype=np.intp)  # other endpoint of the front
+        pos_in_front = np.zeros(N, dtype=bool)  # gate at this position, if any
+
+        # Main routing loop -------------------------------------------------
+        guard = 0
+        max_iterations = 50 * (num_gates + 1) + 10_000
+        need_sweep = True
+        while front:
+            guard += 1
+            if guard > max_iterations:  # pragma: no cover - safety net
+                raise RuntimeError("SABRE routing did not converge")
+
+            # Execute everything executable, in sorted-front sweeps.  The
+            # layout cannot change mid-sweep (no logical SWAPs), so one
+            # vectorised adjacency lookup decides the whole sweep.
+            if need_sweep:
+                while front:
+                    ready = sorted(front)
+                    arr = np.fromiter(ready, dtype=np.intp, count=len(ready))
+                    ok = ~is2q[arr] | adj1[ltp[gq0[arr]], ltp[gq1[arr]]]
+                    if not ok.any():
+                        break
+                    for i, idx in enumerate(ready):
+                        if ok[i]:
+                            execute(idx)
+                if not front:
+                    break
+
+            if front_dirty:
+                front_2q = [i for i in sorted(front) if is2q_list[i]]
+                if not front_2q:
+                    # only blocked single-qubit gates cannot happen (they are
+                    # always executable); defensive guard
+                    raise RuntimeError("SABRE front layer contains no 2-qubit gate")
+                ext = extended_set(front_2q)
+                f_arr = np.fromiter(front_2q, dtype=np.intp, count=len(front_2q))
+                fq0, fq1 = gq0[f_arr], gq1[f_arr]
+                n_front, n_ext = len(front_2q), len(ext)
+                if ext:
+                    e_arr = np.fromiter(ext, dtype=np.intp, count=len(ext))
+                    ext_q = np.concatenate((gq0[e_arr], gq1[e_arr]))
+                else:
+                    ext_q = None
+                front_qubits = sorted(
+                    {q for g in front_2q for q in gates[g].qubits}
+                )
+                front_q_arr = np.fromiter(
+                    front_qubits, dtype=np.intp, count=len(front_qubits)
+                )
+                front_dirty = False
+
+            # Candidate SWAPs = unique edges incident to a front-gate qubit,
+            # in lexicographic (a, b) order == ascending edge-id order
+            # (bitset union over the front qubits' incidence rows).
+            union = np.bitwise_or.reduce(edge_bits[ltp[front_q_arr]], axis=0)
+            eids = np.flatnonzero(
+                np.unpackbits(union, bitorder="little")[:num_edges]
+            )
+            carr = edge_arr[eids]
+            pa_v, pb_v = carr[:, 0], carr[:, 1]
+
+            # Front term by exact deltas.  Every value involved is an
+            # integer-valued float64, so base_sum + corrections is the exact
+            # same float the reference's in-order summation produces.
+            fa, fb = ltp[fq0], ltp[fq1]
+            base_sum = dist_flat.take(fa * N + fb).sum()
+            pos_in_front.fill(False)
+            pos_in_front[fa] = True
+            pos_in_front[fb] = True
+            pos_other[fa] = fb
+            pos_other[fb] = fa
+            o1 = pos_other[pa_v]
+            o2 = pos_other[pb_v]
+            d1 = np.where(
+                pos_in_front[pa_v] & (o1 != pb_v),
+                dist_flat.take(pb_v * N + o1) - dist_flat.take(pa_v * N + o1),
+                0.0,
+            )
+            d2 = np.where(
+                pos_in_front[pb_v] & (o2 != pa_v),
+                dist_flat.take(pa_v * N + o2) - dist_flat.take(pb_v * N + o2),
+                0.0,
+            )
+            s_front = (base_sum + d1 + d2) / max(1, n_front)
+
+            # Extended-set term: relabel every endpoint per candidate
+            # (pa <-> pb) and gather the pair distances in one shot.
+            if n_ext:
+                ab = ltp[ext_q]
+                ab2 = np.where(
+                    ab[None, :] == pa_v[:, None],
+                    pb_v[:, None],
+                    np.where(
+                        ab[None, :] == pb_v[:, None], pa_v[:, None], ab[None, :]
+                    ),
+                )
+                flat = ab2[:, :n_ext]
+                flat = flat * N
+                flat += ab2[:, n_ext:]
+                s_ext = (
+                    self.extended_set_weight
+                    * dist_flat.take(flat).sum(axis=1)
+                    / n_ext
+                )
+            else:
+                s_ext = 0.0
+            scores = np.maximum(decay[pa_v], decay[pb_v]) * (s_front + s_ext)
+
+            # Tie-break exactly like the reference loop.  With a unique
+            # minimum (no other score within the 2e-12 tie window) the
+            # reference loop provably ends with best_swaps == [argmin], so the
+            # scalar scan is only needed when scores genuinely cluster.
+            min_score = scores.min()
+            near = np.flatnonzero(scores <= min_score + 2e-12)
+            if near.size == 1:
+                best_swaps = [edge_list[eids[near[0]]]]
+            else:
+                best_score = None
+                best_swaps = []
+                cand = [edge_list[e] for e in eids.tolist()]
+                for (pa, pb), score in zip(cand, scores.tolist()):
+                    if best_score is None or score < best_score - 1e-12:
+                        best_score = score
+                        best_swaps = [(pa, pb)]
+                    elif abs(score - best_score) <= 1e-12:
+                        best_swaps.append((pa, pb))
+            pa, pb = rng.choice(best_swaps)
+
+            if emit:
+                builder.swap(pa, pb, tag="sabre-swap")
+            la = phys_to_log.get(pa)
+            lb = phys_to_log.get(pb)
+            if la is not None:
+                log_to_phys[la] = pb
+                ltp[la] = pb
+            if lb is not None:
+                log_to_phys[lb] = pa
+                ltp[lb] = pa
+            if la is not None:
+                phys_to_log[pb] = la
+            elif pb in phys_to_log:
+                del phys_to_log[pb]
+            if lb is not None:
+                phys_to_log[pa] = lb
+            elif pa in phys_to_log:
+                del phys_to_log[pa]
+
+            swaps_since_reset += 1
+            decay[pa] += self.decay_delta
+            decay[pb] += self.decay_delta
+            if swaps_since_reset >= self.decay_reset_interval:
+                decay[:] = 1.0
+                swaps_since_reset = 0
+
+            # After sweeps converge the front holds only blocked 2-qubit
+            # gates, so the sweep can be skipped entirely unless this swap
+            # made one of them executable (one cached adjacency probe).
+            need_sweep = bool(adj1[ltp[fq0], ltp[fq1]].any())
 
         final_layout = list(log_to_phys)
         return builder, final_layout

@@ -2,6 +2,8 @@
 
 from .metrics import CompilationResult, result_from_mapped
 from .runners import APPROACHES, architecture_label, make_architecture, run_cell
+from .cache import ResultCache, code_version
+from .parallel import CellSpec, run_cells
 from .tables import format_results, format_series, format_table
 from .experiments import (
     PAPER,
@@ -25,6 +27,10 @@ __all__ = [
     "architecture_label",
     "make_architecture",
     "run_cell",
+    "ResultCache",
+    "code_version",
+    "CellSpec",
+    "run_cells",
     "format_results",
     "format_series",
     "format_table",

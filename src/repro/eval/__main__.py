@@ -1,7 +1,14 @@
 """``python -m repro.eval`` — alias for the experiment CLI.
 
 Equivalent to ``python -m repro.eval.experiments``; see that module for the
-available experiments and profiles.
+available experiments and profiles.  Useful flags::
+
+    -e/--experiment NAME   one of table1, fig17..fig19, fig27, relaxed,
+                           partition, linearity, or "all"
+    --profile quick|paper  instance sizes
+    --jobs N               fan evaluation cells out over N worker processes
+    --cache DIR            JSON result cache; warm re-runs only compute
+                           cells missing under the current code version
 """
 
 import sys

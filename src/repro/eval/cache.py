@@ -1,0 +1,131 @@
+"""JSON-on-disk cache of :class:`~repro.eval.metrics.CompilationResult` rows.
+
+Every evaluation cell is deterministic given its spec (approach,
+architecture kind, size, kwargs such as the SABRE seed) and the code that
+produced it, so re-running a sweep can skip any cell that was already
+computed.  Cache keys therefore combine the cell spec with a *code version*:
+a hash over the ``repro`` package sources, recomputed per process, so editing
+the compiler automatically invalidates stale entries instead of silently
+serving results from an older algorithm.
+
+Entries are one JSON file per cell (atomic rename on write), which makes the
+cache safe to share between the worker processes of the parallel harness --
+two workers writing the same cell write identical bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple
+
+from .metrics import CompilationResult
+
+__all__ = ["ResultCache", "code_version"]
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of the ``repro`` package sources (12 hex chars, cached)."""
+
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        pkg_root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(pkg_root.rglob("*.py")):
+            digest.update(str(path.relative_to(pkg_root)).encode())
+            digest.update(path.read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:12]
+    return _CODE_VERSION
+
+
+class ResultCache:
+    """One-file-per-cell JSON cache rooted at ``root``.
+
+    Parameters
+    ----------
+    root:
+        Directory for the cache (created on demand).
+    version:
+        Code-version component of every key.  Defaults to
+        :func:`code_version`; tests may pin it to probe invalidation.
+    """
+
+    def __init__(self, root: os.PathLike, *, version: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.version = version if version is not None else code_version()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def key(
+        self,
+        approach: str,
+        kind: str,
+        size: int,
+        kwargs: Iterable[Tuple[str, object]] = (),
+        rename: Optional[str] = None,
+    ) -> str:
+        payload = json.dumps(
+            {
+                "approach": approach,
+                "kind": kind,
+                "size": size,
+                "kwargs": sorted((str(k), repr(v)) for k, v in kwargs),
+                "rename": rename,
+                "code": self.version,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[CompilationResult]:
+        """Cached result for ``key``, or ``None`` (corrupt files count as miss)."""
+
+        path = self._path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            result = CompilationResult.from_dict(data)
+        except (OSError, ValueError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        result.extra = dict(result.extra or {})
+        result.extra["cache"] = "hit"
+        return result
+
+    def put(self, key: str, result: CompilationResult) -> None:
+        """Store ``result`` under ``key`` (atomic write-then-rename)."""
+
+        data = result.to_dict()
+        data["extra"].pop("cache", None)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(data, fh, indent=1)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))

@@ -2,20 +2,24 @@
 
 Each ``experiment_*`` function returns a list of
 :class:`~repro.eval.metrics.CompilationResult` rows; the module's CLI
-(``python -m repro.eval.experiments --all``) renders them as text tables of
+(``python -m repro.eval --experiment all``) renders them as text tables of
 the same shape as the paper's Table 1 and Figures 17-19/27, which is what
 EXPERIMENTS.md records.
+
+Experiments are declared as lists of :class:`~repro.eval.parallel.CellSpec`
+and executed through :func:`~repro.eval.parallel.run_cells`, so every
+experiment transparently supports ``jobs`` (process fan-out) and ``cache``
+(incremental re-runs); the CLI exposes both as ``--jobs N`` / ``--cache DIR``.
 
 Two profiles control instance sizes:
 
 * ``quick``  (default) -- finishes in a few minutes on a laptop.  The
-  analytical approach still runs at every paper size; the pure-Python SABRE
-  baseline is capped (cells above the cap are reported as "skipped"), and the
-  SATMAP stand-in gets a short timeout (it times out beyond ~10 qubits anyway,
+  analytical approach still runs at every paper size; the SABRE baseline is
+  capped (cells above the cap are reported as "skipped"), and the SATMAP
+  stand-in gets a short timeout (it times out beyond ~10 qubits anyway,
   exactly as in the paper).
-* ``paper``  -- the full sweeps of the paper (SABRE up to 1024 qubits).  This
-  takes hours with a pure-Python SABRE; use it only when you really want the
-  full curves.
+* ``paper``  -- the full sweeps of the paper (SABRE up to 1024 qubits).
+  Use ``--jobs``/``--cache`` to spread the cost over cores and re-runs.
 """
 
 from __future__ import annotations
@@ -23,17 +27,13 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..arch import GridTopology, LatticeSurgeryTopology, SycamoreTopology
-from ..baselines import SabreMapper
-from ..core import compile_qft
-from ..verify import check_mapped_qft_structure
-from .metrics import CompilationResult, result_from_mapped
-from .runners import architecture_label, make_architecture, run_cell
-from .tables import format_results, format_series, format_table
+from .cache import ResultCache
+from .metrics import CompilationResult
+from .parallel import CellSpec, run_cells
+from .tables import format_results, format_series
 
 __all__ = [
     "Profile",
@@ -67,6 +67,13 @@ class Profile:
     satmap_max_qubits: int
     satmap_timeout_s: float
     linearity_sizes: Tuple[int, ...]
+    # Fig. 27 seed sweep (defaults keep hand-built Profiles working).  The
+    # paper (and the seed repo) ran it on a 2x2 grid, which finishes in well
+    # under a second -- the *paper* profile keeps that for fidelity.  The
+    # quick profile uses a 6x6 grid: a sub-minute sweep that is substantial
+    # enough for ``--jobs`` fan-out and cache warm-ups to be observable.
+    fig27_m: int = 6
+    fig27_seeds: Tuple[int, ...] = tuple(range(10))
 
 
 QUICK = Profile(
@@ -95,6 +102,7 @@ PAPER = Profile(
     satmap_max_qubits=1024,
     satmap_timeout_s=7200.0,
     linearity_sizes=(2, 4, 6, 8, 10, 12, 16, 20),
+    fig27_m=2,  # the paper's own Fig. 27 configuration
 )
 
 
@@ -107,19 +115,17 @@ def _profile(name: str) -> Profile:
 # ---------------------------------------------------------------------------
 
 
-def experiment_table1(profile: Profile = QUICK) -> List[CompilationResult]:
-    """Ours vs SATMAP vs SABRE across Sycamore / heavy-hex / lattice surgery."""
-
+def specs_table1(profile: Profile = QUICK) -> List[CellSpec]:
     cells: List[Tuple[str, int]] = []
     cells += [("sycamore", m) for m in profile.table1_sycamore]
     cells += [("heavyhex", g) for g in profile.table1_heavyhex]
     cells += [("lattice", m) for m in profile.table1_lattice]
 
-    results: List[CompilationResult] = []
+    specs: List[CellSpec] = []
     for kind, size in cells:
-        results.append(run_cell("ours", kind, size))
-        results.append(
-            run_cell(
+        specs.append(CellSpec.make("ours", kind, size))
+        specs.append(
+            CellSpec.make(
                 "satmap",
                 kind,
                 size,
@@ -127,10 +133,21 @@ def experiment_table1(profile: Profile = QUICK) -> List[CompilationResult]:
                 timeout_s=profile.satmap_timeout_s,
             )
         )
-        results.append(
-            run_cell("sabre", kind, size, max_qubits=profile.sabre_max_qubits)
+        specs.append(
+            CellSpec.make("sabre", kind, size, max_qubits=profile.sabre_max_qubits)
         )
-    return results
+    return specs
+
+
+def experiment_table1(
+    profile: Profile = QUICK,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[CompilationResult]:
+    """Ours vs SATMAP vs SABRE across Sycamore / heavy-hex / lattice surgery."""
+
+    return run_cells(specs_table1(profile), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -138,42 +155,71 @@ def experiment_table1(profile: Profile = QUICK) -> List[CompilationResult]:
 # ---------------------------------------------------------------------------
 
 
-def experiment_figure17_heavyhex(profile: Profile = QUICK) -> List[CompilationResult]:
+def specs_figure17(profile: Profile = QUICK) -> List[CellSpec]:
+    specs: List[CellSpec] = []
+    for groups in profile.fig17_groups:
+        specs.append(CellSpec.make("ours", "heavyhex", groups))
+        specs.append(
+            CellSpec.make(
+                "sabre", "heavyhex", groups, max_qubits=profile.sabre_max_qubits
+            )
+        )
+    return specs
+
+
+def experiment_figure17_heavyhex(
+    profile: Profile = QUICK,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[CompilationResult]:
     """Depth and #SWAP vs qubit count on heavy-hex, ours vs SABRE (Fig. 17)."""
 
-    results: List[CompilationResult] = []
-    for groups in profile.fig17_groups:
-        results.append(run_cell("ours", "heavyhex", groups))
-        results.append(
-            run_cell("sabre", "heavyhex", groups, max_qubits=profile.sabre_max_qubits)
+    return run_cells(specs_figure17(profile), jobs=jobs, cache=cache)
+
+
+def specs_figure18(profile: Profile = QUICK) -> List[CellSpec]:
+    specs: List[CellSpec] = []
+    for m in profile.fig18_m:
+        specs.append(CellSpec.make("ours", "sycamore", m))
+        specs.append(
+            CellSpec.make("sabre", "sycamore", m, max_qubits=profile.sabre_max_qubits)
         )
-    return results
+    return specs
 
 
-def experiment_figure18_sycamore(profile: Profile = QUICK) -> List[CompilationResult]:
+def experiment_figure18_sycamore(
+    profile: Profile = QUICK,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[CompilationResult]:
     """Depth and #SWAP vs qubit count on Sycamore, ours vs SABRE (Fig. 18)."""
 
-    results: List[CompilationResult] = []
-    for m in profile.fig18_m:
-        results.append(run_cell("ours", "sycamore", m))
-        results.append(
-            run_cell("sabre", "sycamore", m, max_qubits=profile.sabre_max_qubits)
+    return run_cells(specs_figure18(profile), jobs=jobs, cache=cache)
+
+
+def specs_figure19(profile: Profile = QUICK) -> List[CellSpec]:
+    specs: List[CellSpec] = []
+    for m in profile.fig19_m:
+        specs.append(CellSpec.make("ours", "lattice", m))
+        specs.append(CellSpec.make("lnn", "lattice", m))
+        specs.append(
+            CellSpec.make("sabre", "lattice", m, max_qubits=profile.sabre_max_qubits)
         )
-    return results
+    return specs
 
 
-def experiment_figure19_lattice(profile: Profile = QUICK) -> List[CompilationResult]:
+def experiment_figure19_lattice(
+    profile: Profile = QUICK,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[CompilationResult]:
     """Depth and #SWAP vs qubit count on lattice surgery, ours vs SABRE vs LNN
     (Fig. 19, 100 to 1024 qubits)."""
 
-    results: List[CompilationResult] = []
-    for m in profile.fig19_m:
-        results.append(run_cell("ours", "lattice", m))
-        results.append(run_cell("lnn", "lattice", m))
-        results.append(
-            run_cell("sabre", "lattice", m, max_qubits=profile.sabre_max_qubits)
-        )
-    return results
+    return run_cells(specs_figure19(profile), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -181,23 +227,26 @@ def experiment_figure19_lattice(profile: Profile = QUICK) -> List[CompilationRes
 # ---------------------------------------------------------------------------
 
 
-def experiment_figure27_sabre_randomness(
-    seeds: Sequence[int] = tuple(range(10)), m: int = 2
-) -> List[CompilationResult]:
-    """SABRE output variance across random seeds on a 2x2 grid (Fig. 27)."""
+def specs_figure27(seeds: Sequence[int] = tuple(range(10)), m: int = 2) -> List[CellSpec]:
+    return [
+        CellSpec.make("sabre", "grid", m, seed=seed, rename=f"sabre-seed{seed}")
+        for seed in seeds
+    ]
 
-    topo = GridTopology(m, m)
-    label = f"Grid {m}*{m}"
-    results: List[CompilationResult] = []
-    for seed in seeds:
-        mapper = SabreMapper(topo, seed=seed)
-        start = time.perf_counter()
-        mapped = mapper.map_qft(topo.num_qubits)
-        elapsed = time.perf_counter() - start
-        verified = check_mapped_qft_structure(mapped, topo.num_qubits).ok
-        res = result_from_mapped(f"sabre-seed{seed}", label, mapped, elapsed, verified)
-        results.append(res)
-    return results
+
+def experiment_figure27_sabre_randomness(
+    seeds: Sequence[int] = tuple(range(10)),
+    m: int = 2,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[CompilationResult]:
+    """SABRE output variance across random seeds on an ``m x m`` grid
+    (Fig. 27).  Direct calls default to the paper's 2x2 grid, as does the
+    CLI's paper profile; the quick profile passes ``fig27_m=6`` so the sweep
+    is substantial enough for ``--jobs`` fan-out to matter."""
+
+    return run_cells(specs_figure27(seeds, m), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -205,37 +254,30 @@ def experiment_figure27_sabre_randomness(
 # ---------------------------------------------------------------------------
 
 
-def experiment_relaxed_vs_strict(
+def specs_relaxed_vs_strict(
     sycamore_m: Sequence[int] = (4, 6, 8), lattice_m: Sequence[int] = (6, 8, 10)
+) -> List[CellSpec]:
+    specs: List[CellSpec] = []
+    for kind, sizes in (("sycamore", sycamore_m), ("lattice", lattice_m)):
+        for m in sizes:
+            for strict in (False, True):
+                approach = "ours-strict-ie" if strict else "ours-relaxed-ie"
+                specs.append(
+                    CellSpec.make("ours", kind, m, strict_ie=strict, rename=approach)
+                )
+    return specs
+
+
+def experiment_relaxed_vs_strict(
+    sycamore_m: Sequence[int] = (4, 6, 8),
+    lattice_m: Sequence[int] = (6, 8, 10),
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
     """Depth of the unit-based mappers with relaxed vs strict QFT-IE."""
 
-    results: List[CompilationResult] = []
-    for m in sycamore_m:
-        for strict in (False, True):
-            topo = SycamoreTopology(m)
-            start = time.perf_counter()
-            mapped = compile_qft(topo, strict_ie=strict)
-            elapsed = time.perf_counter() - start
-            verified = check_mapped_qft_structure(mapped, topo.num_qubits).ok
-            approach = "ours-strict-ie" if strict else "ours-relaxed-ie"
-            results.append(
-                result_from_mapped(approach, f"{m}*{m} Sycamore", mapped, elapsed, verified)
-            )
-    for m in lattice_m:
-        for strict in (False, True):
-            topo = LatticeSurgeryTopology(m)
-            start = time.perf_counter()
-            mapped = compile_qft(topo, strict_ie=strict)
-            elapsed = time.perf_counter() - start
-            verified = check_mapped_qft_structure(mapped, topo.num_qubits).ok
-            approach = "ours-strict-ie" if strict else "ours-relaxed-ie"
-            results.append(
-                result_from_mapped(
-                    approach, f"Lattice surgery {m}*{m}", mapped, elapsed, verified
-                )
-            )
-    return results
+    return run_cells(specs_relaxed_vs_strict(sycamore_m, lattice_m), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -243,18 +285,25 @@ def experiment_relaxed_vs_strict(
 # ---------------------------------------------------------------------------
 
 
+def specs_partition_ablation(lattice_m: Sequence[int] = (6, 8, 10, 12)) -> List[CellSpec]:
+    specs: List[CellSpec] = []
+    for m in lattice_m:
+        specs.append(CellSpec.make("ours", "lattice", m))
+        specs.append(CellSpec.make("lnn", "lattice", m))
+        specs.append(CellSpec.make("greedy", "lattice", m, max_qubits=200))
+    return specs
+
+
 def experiment_partition_ablation(
-    lattice_m: Sequence[int] = (6, 8, 10, 12)
+    lattice_m: Sequence[int] = (6, 8, 10, 12),
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
     """Unit-based mapping (partitioned) vs LNN-on-a-path vs greedy routing on
     the FT grid: quantifies what sub-kernel partitioning buys (Insight 2)."""
 
-    results: List[CompilationResult] = []
-    for m in lattice_m:
-        results.append(run_cell("ours", "lattice", m))
-        results.append(run_cell("lnn", "lattice", m))
-        results.append(run_cell("greedy", "lattice", m, max_qubits=200))
-    return results
+    return run_cells(specs_partition_ablation(lattice_m), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -262,17 +311,26 @@ def experiment_partition_ablation(
 # ---------------------------------------------------------------------------
 
 
-def experiment_linearity(profile: Profile = QUICK) -> List[CompilationResult]:
+def specs_linearity(profile: Profile = QUICK) -> List[CellSpec]:
+    specs: List[CellSpec] = []
+    for m in profile.linearity_sizes:
+        if m % 2 == 0:
+            specs.append(CellSpec.make("ours", "sycamore", m))
+        specs.append(CellSpec.make("ours", "heavyhex", m))
+        specs.append(CellSpec.make("ours", "lattice", max(m, 3)))
+    return specs
+
+
+def experiment_linearity(
+    profile: Profile = QUICK,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[CompilationResult]:
     """Depth / N for the analytical mappers over a size sweep (the paper's
     linear-depth guarantee: ~5N heavy-hex, ~7N Sycamore, ~5N lattice)."""
 
-    results: List[CompilationResult] = []
-    for m in profile.linearity_sizes:
-        if m % 2 == 0:
-            results.append(run_cell("ours", "sycamore", m))
-        results.append(run_cell("ours", "heavyhex", m))
-        results.append(run_cell("ours", "lattice", max(m, 3)))
-    return results
+    return run_cells(specs_linearity(profile), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -281,19 +339,29 @@ def experiment_linearity(profile: Profile = QUICK) -> List[CompilationResult]:
 
 
 _EXPERIMENTS = {
-    "table1": lambda prof: experiment_table1(prof),
-    "fig17": lambda prof: experiment_figure17_heavyhex(prof),
-    "fig18": lambda prof: experiment_figure18_sycamore(prof),
-    "fig19": lambda prof: experiment_figure19_lattice(prof),
-    "fig27": lambda prof: experiment_figure27_sabre_randomness(),
-    "relaxed": lambda prof: experiment_relaxed_vs_strict(),
-    "partition": lambda prof: experiment_partition_ablation(),
-    "linearity": lambda prof: experiment_linearity(prof),
+    "table1": lambda prof, **kw: experiment_table1(prof, **kw),
+    "fig17": lambda prof, **kw: experiment_figure17_heavyhex(prof, **kw),
+    "fig18": lambda prof, **kw: experiment_figure18_sycamore(prof, **kw),
+    "fig19": lambda prof, **kw: experiment_figure19_lattice(prof, **kw),
+    "fig27": lambda prof, **kw: experiment_figure27_sabre_randomness(
+        prof.fig27_seeds, prof.fig27_m, **kw
+    ),
+    "relaxed": lambda prof, **kw: experiment_relaxed_vs_strict(**kw),
+    "partition": lambda prof, **kw: experiment_partition_ablation(**kw),
+    "linearity": lambda prof, **kw: experiment_linearity(prof, **kw),
 }
 
 
-def run_all(profile: Profile = QUICK) -> Dict[str, List[CompilationResult]]:
-    return {name: fn(profile) for name, fn in _EXPERIMENTS.items()}
+def run_all(
+    profile: Profile = QUICK,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, List[CompilationResult]]:
+    return {
+        name: fn(profile, jobs=jobs, cache=cache)
+        for name, fn in _EXPERIMENTS.items()
+    }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -310,22 +378,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--profile", choices=("quick", "paper"), default="quick", help="size profile"
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes per experiment (cells fan out across cores)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="result cache directory; re-runs only compute cells not already "
+        "cached under the current code version",
+    )
     args = parser.parse_args(argv)
 
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     profile = _profile(args.profile)
+    try:
+        cache = ResultCache(args.cache) if args.cache else None
+    except OSError as exc:
+        parser.error(f"--cache {args.cache!r} is not a usable directory: {exc}")
     wanted = args.experiment or ["all"]
     if "all" in wanted:
         wanted = sorted(_EXPERIMENTS)
 
     for name in wanted:
         print(f"\n=== {name} (profile: {profile.name}) ===")
-        results = _EXPERIMENTS[name](profile)
+        results = _EXPERIMENTS[name](profile, jobs=args.jobs, cache=cache)
         print(format_results(results))
         if name in ("fig17", "fig18", "fig19"):
             print("\ndepth series:")
             print(format_series(results, "depth"))
             print("swap series:")
             print(format_series(results, "swap_count"))
+    if cache is not None:
+        stats = cache.stats()
+        print(f"\ncache: {stats['hits']} hits, {stats['misses']} misses")
     return 0
 
 

@@ -11,6 +11,18 @@ from ..circuit.schedule import MappedCircuit
 __all__ = ["CompilationResult", "result_from_mapped"]
 
 
+def _jsonify(value: object) -> object:
+    """Coerce a metadata value to something json.dumps accepts."""
+
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    return str(value)
+
+
 @dataclass
 class CompilationResult:
     """One cell of a results table: an (approach, architecture, size) triple.
@@ -31,12 +43,52 @@ class CompilationResult:
     total_ops: Optional[int] = None
     compile_time_s: Optional[float] = None
     verified: Optional[bool] = None
+    message: Optional[str] = None
     extra: Dict[str, object] = field(default_factory=dict)
 
     # -- convenience -------------------------------------------------------
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    # -- (de)serialisation (used by the on-disk result cache) --------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict representation (``extra`` values coerced via str)."""
+
+        return {
+            "approach": self.approach,
+            "architecture": self.architecture,
+            "num_qubits": self.num_qubits,
+            "status": self.status,
+            "depth": self.depth,
+            "unit_depth": self.unit_depth,
+            "swap_count": self.swap_count,
+            "cphase_count": self.cphase_count,
+            "total_ops": self.total_ops,
+            "compile_time_s": self.compile_time_s,
+            "verified": self.verified,
+            "message": self.message,
+            "extra": {k: _jsonify(v) for k, v in self.extra.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CompilationResult":
+        fields = {
+            "approach",
+            "architecture",
+            "num_qubits",
+            "status",
+            "depth",
+            "unit_depth",
+            "swap_count",
+            "cphase_count",
+            "total_ops",
+            "compile_time_s",
+            "verified",
+            "message",
+            "extra",
+        }
+        return cls(**{k: v for k, v in data.items() if k in fields})
 
     def depth_per_qubit(self) -> Optional[float]:
         if self.depth is None or self.num_qubits == 0:
@@ -56,6 +108,7 @@ class CompilationResult:
                 f"{self.compile_time_s:.2f}" if self.compile_time_s is not None else "-"
             ),
             "verified": self.verified if self.verified is not None else "-",
+            "message": self.message or "",
         }
 
 

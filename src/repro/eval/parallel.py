@@ -1,0 +1,112 @@
+"""Parallel, cache-aware execution of evaluation cells.
+
+The experiment definitions in :mod:`repro.eval.experiments` describe *what*
+to run as lists of :class:`CellSpec`; this module decides *how*: serially or
+fanned out over a process pool (compilation is CPU-bound pure Python, so
+threads would not help), with an optional
+:class:`~repro.eval.cache.ResultCache` consulted first so warm re-runs cost
+milliseconds per cell.
+
+Results come back in spec order regardless of ``jobs``, and every cell is
+deterministic given its spec, so ``--jobs N`` never changes the metrics --
+only the wall-clock time (a property the test suite asserts).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache
+from .metrics import CompilationResult
+from .runners import run_cell
+
+__all__ = ["CellSpec", "run_cells"]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One evaluation cell: ``run_cell(approach, kind, size, **kwargs)``.
+
+    ``kwargs`` is stored as a sorted tuple of pairs so specs are hashable and
+    picklable (process-pool workers receive the spec itself).  ``rename``
+    optionally overrides the reported approach label, e.g. ``sabre-seed3``
+    for the Fig. 27 seed sweep.
+    """
+
+    approach: str
+    kind: str
+    size: int
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+    rename: Optional[str] = None
+
+    @classmethod
+    def make(
+        cls,
+        approach: str,
+        kind: str,
+        size: int,
+        *,
+        rename: Optional[str] = None,
+        **kwargs: object,
+    ) -> "CellSpec":
+        return cls(approach, kind, size, tuple(sorted(kwargs.items())), rename)
+
+
+def _run_spec(spec: CellSpec) -> CompilationResult:
+    result = run_cell(spec.approach, spec.kind, spec.size, **dict(spec.kwargs))
+    if spec.rename is not None:
+        result.approach = spec.rename
+    return result
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[CompilationResult]:
+    """Run every spec, in order, using up to ``jobs`` worker processes.
+
+    With a cache, hits are served without running anything and fresh results
+    are stored on the way out; only the misses are distributed to workers.
+    """
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    results: List[Optional[CompilationResult]] = [None] * len(specs)
+    keys: Dict[int, str] = {}
+    todo: List[int] = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            keys[i] = cache.key(
+                spec.approach, spec.kind, spec.size, spec.kwargs, spec.rename
+            )
+            hit = cache.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                continue
+        todo.append(i)
+
+    def record(i: int, result: CompilationResult) -> None:
+        results[i] = result
+        # Timeouts are wall-clock-dependent, not deterministic per spec --
+        # caching one would serve a one-off slow run forever.  Everything
+        # else (ok / skipped / error) is a pure function of the spec.
+        if cache is not None and result.status != "timeout":
+            cache.put(keys[i], result)
+
+    if jobs > 1 and len(todo) > 1:
+        # Record each cell as it completes so a mid-sweep crash (worker OOM,
+        # Ctrl-C, one bad cell) does not discard hours of finished work.
+        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
+            futures = {pool.submit(_run_spec, specs[i]): i for i in todo}
+            for fut in as_completed(futures):
+                record(futures[fut], fut.result())
+    else:
+        for i in todo:
+            record(i, _run_spec(specs[i]))
+
+    return results  # type: ignore[return-value]  # every slot is filled above

@@ -41,38 +41,69 @@ __all__ = ["make_architecture", "run_cell", "architecture_label", "APPROACHES"]
 APPROACHES = ("ours", "sabre", "satmap", "lnn", "greedy")
 
 
+# Single source of truth per architecture kind: (constructor, paper-style
+# label template).  Synonyms share one entry so factory and label can't drift.
+_SYCAMORE = (lambda size: SycamoreTopology(size), "{size}*{size} Sycamore")
+_HEAVYHEX = (lambda size: CaterpillarTopology.regular_groups(size), "Heavy-hex {size}*5")
+_LATTICE = (lambda size: LatticeSurgeryTopology(size), "Lattice surgery {size}*{size}")
+_ARCHITECTURES = {
+    "sycamore": _SYCAMORE,
+    "heavyhex": _HEAVYHEX,
+    "heavy-hex": _HEAVYHEX,
+    "caterpillar": _HEAVYHEX,
+    "lattice": _LATTICE,
+    "lattice-surgery": _LATTICE,
+    "ft": _LATTICE,
+    "grid": (lambda size: GridTopology(size, size), "Grid {size}*{size}"),
+    "lnn": (lambda size: LNNTopology(size), "{kind} {size}"),
+    "line": (lambda size: LNNTopology(size), "{kind} {size}"),
+}
+
+
+def _architecture_factory(kind: str):
+    try:
+        return _ARCHITECTURES[kind.lower()][0]
+    except KeyError:
+        raise ValueError(f"unknown architecture kind {kind!r}") from None
+
+
 def make_architecture(kind: str, size: int) -> Topology:
     """Instantiate an architecture by kind and its paper-style size parameter."""
 
-    kind = kind.lower()
-    if kind == "sycamore":
-        return SycamoreTopology(size)
-    if kind in ("heavyhex", "heavy-hex", "caterpillar"):
-        return CaterpillarTopology.regular_groups(size)
-    if kind in ("lattice", "lattice-surgery", "ft"):
-        return LatticeSurgeryTopology(size)
-    if kind == "grid":
-        return GridTopology(size, size)
-    if kind in ("lnn", "line"):
-        return LNNTopology(size)
-    raise ValueError(f"unknown architecture kind {kind!r}")
+    return _architecture_factory(kind)(size)
 
 
 def architecture_label(kind: str, size: int) -> str:
     kind = kind.lower()
-    if kind == "sycamore":
-        return f"{size}*{size} Sycamore"
-    if kind in ("heavyhex", "heavy-hex", "caterpillar"):
-        return f"Heavy-hex {size}*5"
-    if kind in ("lattice", "lattice-surgery", "ft"):
-        return f"Lattice surgery {size}*{size}"
-    if kind == "grid":
-        return f"Grid {size}*{size}"
-    return f"{kind} {size}"
+    entry = _ARCHITECTURES.get(kind)
+    template = entry[1] if entry is not None else "{kind} {size}"
+    return template.format(kind=kind, size=size)
+
+
+# Options each approach accepts; anything else is a caller typo (e.g. `sede=3`
+# for `seed=3`) that would otherwise run with defaults, get reported as the
+# intended cell, and be persisted under the misspelled cache key.
+_APPROACH_KWARGS = {
+    "ours": {"strict_ie"},
+    "our": {"strict_ie"},
+    "our-approach": {"strict_ie"},
+    "sabre": {"seed", "passes"},
+    "satmap": {"timeout_s"},
+    "lnn": set(),
+    "greedy": set(),
+}
 
 
 def _mapper_factory(approach: str, topology: Topology, **kwargs) -> Callable[[], object]:
     approach = approach.lower()
+    allowed = _APPROACH_KWARGS.get(approach)
+    if allowed is not None:
+        unknown = set(kwargs) - allowed
+        if unknown:
+            raise ValueError(
+                f"unknown option(s) for approach {approach!r}: {sorted(unknown)}"
+                f" (accepted: {sorted(allowed) or 'none'})"
+            )
     if approach in ("ours", "our", "our-approach"):
         return lambda: compile_qft(topology, strict_ie=kwargs.get("strict_ie", False))
     if approach == "sabre":
@@ -109,10 +140,25 @@ def run_cell(
     when the instance exceeds the harness cap for that approach -- this is how
     the benchmark suite keeps pure-Python SABRE runs bounded while still
     reporting the full sweep for the analytical approach.
+
+    Architecture construction errors (e.g. an odd Sycamore patch size) are
+    reported as a ``status == "error"`` result rather than raised, so one bad
+    cell cannot kill a whole sweep.  An unknown *approach* or *kind* still
+    raises -- those are caller bugs, not per-cell failures.
     """
 
-    topology = make_architecture(kind, size)
     label = architecture_label(kind, size)
+    factory = _architecture_factory(kind)  # unknown kind: caller bug, raises
+    try:
+        topology = factory(size)
+    except ValueError as exc:
+        return CompilationResult(
+            approach=approach,
+            architecture=label,
+            num_qubits=0,
+            status="error",
+            message=str(exc),
+        )
     n = topology.num_qubits
     if max_qubits is not None and n > max_qubits:
         return CompilationResult(

@@ -29,6 +29,9 @@ def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> s
 def format_results(results: Iterable[CompilationResult]) -> str:
     rows = [r.as_row() for r in results]
     columns = ["architecture", "qubits", "approach", "depth", "swaps", "compile_s", "status", "verified"]
+    # failed cells carry a diagnostic; only show the column when one exists
+    if any(row.get("message") for row in rows):
+        columns.append("message")
     return format_table(rows, columns)
 
 

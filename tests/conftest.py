@@ -11,7 +11,7 @@ from repro.arch import (
     LNNTopology,
     SycamoreTopology,
 )
-from repro.verify import verify_mapped_qft
+from helpers import assert_valid_qft  # noqa: F401  (re-exported for fixtures/tests)
 
 
 @pytest.fixture
@@ -37,13 +37,3 @@ def lattice4() -> LatticeSurgeryTopology:
 @pytest.fixture
 def caterpillar10() -> CaterpillarTopology:
     return CaterpillarTopology.regular_groups(2)
-
-
-def assert_valid_qft(mapped, n=None, *, strict=False, statevector_limit=7):
-    """Assert a mapped circuit is a correct QFT (structure + small-n unitary)."""
-
-    result = verify_mapped_qft(
-        mapped, n, strict_order=strict, statevector_limit=statevector_limit
-    )
-    assert result.ok, result.summary()
-    return result

@@ -1,0 +1,24 @@
+"""Importable test helpers.
+
+Lives in a regular module (not ``conftest.py``) so that test modules can
+``from helpers import assert_valid_qft`` without depending on which
+``conftest`` pytest happens to put first on ``sys.path`` — the seed repo
+broke root-level collection because ``benchmarks/conftest.py`` shadowed
+``tests/conftest.py`` under the shared module name ``conftest``.
+"""
+
+from __future__ import annotations
+
+from repro.verify import verify_mapped_qft
+
+__all__ = ["assert_valid_qft"]
+
+
+def assert_valid_qft(mapped, n=None, *, strict=False, statevector_limit=7):
+    """Assert a mapped circuit is a correct QFT (structure + small-n unitary)."""
+
+    result = verify_mapped_qft(
+        mapped, n, strict_order=strict, statevector_limit=statevector_limit
+    )
+    assert result.ok, result.summary()
+    return result

@@ -1,0 +1,43 @@
+"""Regression test: pytest collection must work from the repo root.
+
+The seed repo failed ``python -m pytest -x -q`` at collection because ten
+test modules did ``from conftest import assert_valid_qft`` and resolved
+``benchmarks/conftest.py`` instead of ``tests/conftest.py``.  This test runs
+a real collection pass from the repo root so that bug class cannot silently
+return.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_pytest_collects_from_repo_root():
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "--collect-only", "-q"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    # the seed suite had 596 tests; collection must never shrink below that
+    summary = [l for l in proc.stdout.splitlines() if "collected" in l]
+    assert summary, proc.stdout
+    count = int(summary[-1].split()[0])
+    assert count >= 596, summary[-1]
+
+
+def test_benchmarks_collect_when_targeted():
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks/", "--collect-only", "-q"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    summary = [l for l in proc.stdout.splitlines() if "collected" in l]
+    assert summary and int(summary[-1].split()[0]) > 0, proc.stdout

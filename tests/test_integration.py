@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import assert_valid_qft
+from helpers import assert_valid_qft
 from repro.arch import (
     CaterpillarTopology,
     GridTopology,

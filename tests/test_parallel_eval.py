@@ -1,0 +1,97 @@
+"""Tests for the parallel evaluation harness (repro.eval.parallel)."""
+
+import pytest
+
+from repro.eval import ResultCache, run_cell
+from repro.eval.experiments import QUICK, specs_figure27, specs_table1
+from repro.eval.parallel import CellSpec, run_cells
+
+
+def _metrics(results):
+    return [
+        (r.approach, r.architecture, r.status, r.depth, r.swap_count, r.verified)
+        for r in results
+    ]
+
+
+class TestRunCells:
+    def test_order_matches_spec_order(self):
+        specs = [
+            CellSpec.make("ours", "heavyhex", 2),
+            CellSpec.make("sabre", "grid", 2, seed=1),
+            CellSpec.make("lnn", "lattice", 3),
+        ]
+        results = run_cells(specs)
+        assert [r.approach for r in results] == ["ours", "sabre", "lnn"]
+        assert all(r.ok for r in results)
+
+    def test_jobs_do_not_change_results(self):
+        specs = specs_figure27(seeds=(0, 1, 2, 3), m=3)
+        serial = run_cells(specs, jobs=1)
+        parallel = run_cells(specs, jobs=2)
+        assert _metrics(serial) == _metrics(parallel)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_cells([], jobs=0)
+
+    def test_parallel_with_cache_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = specs_figure27(seeds=(0, 1, 2), m=2)
+        cold = run_cells(specs, jobs=2, cache=cache)
+        warm = run_cells(specs, jobs=2, cache=cache)
+        assert _metrics(cold) == _metrics(warm)
+        assert cache.stats()["hits"] == 3
+
+    def test_error_cell_does_not_kill_the_sweep(self):
+        # odd Sycamore size is invalid; the sweep must carry on
+        specs = [
+            CellSpec.make("ours", "sycamore", 2),
+            CellSpec.make("ours", "sycamore", 9),
+            CellSpec.make("ours", "sycamore", 4),
+        ]
+        results = run_cells(specs, jobs=2)
+        assert [r.status for r in results] == ["ok", "error", "ok"]
+        assert "even" in results[1].message
+
+
+class TestRunCellErrors:
+    def test_architecture_error_is_a_result_not_a_traceback(self):
+        res = run_cell("ours", "sycamore", 9)
+        assert res.status == "error"
+        assert not res.ok
+        assert "even" in res.message
+        assert res.architecture == "9*9 Sycamore"
+
+    def test_unknown_approach_still_raises(self):
+        with pytest.raises(ValueError):
+            run_cell("magic", "grid", 3)
+
+    def test_unknown_kind_still_raises(self):
+        # a typo'd kind is a caller bug, not a per-cell failure
+        with pytest.raises(ValueError, match="unknown architecture kind"):
+            run_cell("ours", "hexheavy", 3)
+
+    def test_typoed_kwarg_raises_instead_of_running_with_defaults(self):
+        with pytest.raises(ValueError, match="sede"):
+            run_cell("sabre", "grid", 2, sede=3)
+
+    def test_error_message_reaches_the_rendered_table(self):
+        from repro.eval import format_results
+
+        text = format_results([run_cell("ours", "sycamore", 9)])
+        assert "even number" in text
+
+
+class TestExperimentSpecs:
+    def test_table1_spec_count(self):
+        specs = specs_table1(QUICK)
+        # 9 cells x 3 approaches
+        assert len(specs) == 27
+
+    def test_specs_are_picklable_and_hashable(self):
+        import pickle
+
+        spec = CellSpec.make("sabre", "grid", 6, seed=3, rename="sabre-seed3")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, spec}) == 1

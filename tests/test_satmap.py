@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import assert_valid_qft
+from helpers import assert_valid_qft
 from repro.arch import GridTopology, LNNTopology
 from repro.baselines import SatmapMapper, SatmapTimeout
 from repro.circuit import Circuit

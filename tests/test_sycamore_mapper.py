@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import assert_valid_qft
+from helpers import assert_valid_qft
 from repro.arch import GridTopology, SycamoreTopology
 from repro.circuit import GateKind
 from repro.core import SycamoreQFTMapper
