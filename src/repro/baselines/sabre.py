@@ -10,10 +10,19 @@ forward/backward passes over the circuit ("reverse traversal").
 
 This re-implementation follows the published algorithm; it is seeded (the
 paper's Fig. 27 shows how strongly SABRE's output depends on the seed, and
-:mod:`repro.eval.experiments` reproduces that observation).  Hot paths use a
-precomputed numpy distance matrix; the control flow stays in plain Python, so
-very large instances (>~500 qubits) are slow -- the benchmark harness caps
-SABRE sizes accordingly (see DESIGN.md "Substitutions").
+:mod:`repro.eval.experiments` reproduces that observation).  The default
+routing path scores candidate SWAPs by *exact deltas* against maintained
+base sums: the front term costs O(1) per candidate (front gates are
+vertex-disjoint), and the extended-set term is gathered only for candidates
+incident to an extended-set endpoint -- every other candidate's ext delta is
+exactly 0 -- so the per-iteration cost no longer carries the full
+``candidates x extended-set`` relabel matrix and 1024-qubit instances route
+at a near-flat per-swap-iteration cost (see EXPERIMENTS.md "Performance").
+A cross-iteration per-candidate score cache (``incremental=True``) is
+available and bit-identical, but stays opt-in: on QFT workloads the front
+layer turns over every ~2 swaps, which invalidates it before it amortises.
+The reference path (``vectorized=False``) keeps the textbook per-candidate
+loop and stays bit-identical.
 """
 
 from __future__ import annotations
@@ -25,12 +34,57 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from ..arch.topology import Topology
+from ..utils import BoundedCache
 from ..circuit.circuit import Circuit
 from ..circuit.gates import GateKind
 from ..circuit.qft import qft_circuit
 from ..circuit.schedule import MappedCircuit, MappingBuilder
 
-__all__ = ["SabreMapper"]
+__all__ = ["SabreMapper", "sabre_tables_for"]
+
+# Process-wide cache of the static per-topology tables the fast path uses
+# (adjacency mask, lexicographic edge ids, per-qubit incidence bitsets).
+# Keyed by the coupling graph identity (`Topology.graph_key`) so seed sweeps
+# and topology-grouped evaluation workers build them once per (process,
+# topology) instead of once per mapper instance.  LRU-bounded like the
+# distance-matrix cache in :mod:`repro.arch.topology`.
+_TABLE_CACHE: BoundedCache = BoundedCache(16)
+
+
+
+def sabre_tables_for(
+    topology: Topology,
+) -> Tuple[np.ndarray, List[Tuple[int, int]], np.ndarray, np.ndarray]:
+    """Static routing tables for ``topology``: ``(adjacency mask, edge list,
+    edge array, incidence bitsets)``, shared process-wide.
+
+    Edge id order equals ``sorted(edge_set)`` order, so an ascending array of
+    edge ids enumerates candidate SWAPs exactly like the reference path's
+    ``sorted(candidates)`` over (a, b) tuples.  Incidence is stored as
+    little-endian bitsets: one row of bytes per qubit, bit ``eid`` set iff
+    edge ``eid`` touches the qubit; the union of incident edges over any
+    qubit set is then a single ``bitwise_or.reduce`` + ``unpackbits``.
+    """
+
+    key = topology.graph_key()
+    hit = _TABLE_CACHE.lookup(key)
+    if hit is not None:
+        return hit
+    n = topology.num_qubits
+    mask = np.zeros((n, n), dtype=bool)
+    for a, b in topology.edge_set:
+        mask[a, b] = mask[b, a] = True
+    mask.setflags(write=False)
+    edge_list = sorted(topology.edge_set)
+    edge_arr = np.asarray(edge_list, dtype=np.intp).reshape(len(edge_list), 2)
+    nbytes = (len(edge_list) + 7) // 8
+    edge_bits = np.zeros((n, max(1, nbytes)), dtype=np.uint8)
+    for eid, (a, b) in enumerate(edge_list):
+        edge_bits[a, eid >> 3] |= 1 << (eid & 7)
+        edge_bits[b, eid >> 3] |= 1 << (eid & 7)
+    edge_arr.setflags(write=False)
+    edge_bits.setflags(write=False)
+    return _TABLE_CACHE.store(key, (mask, edge_list, edge_arr, edge_bits))
 
 
 @dataclass
@@ -115,6 +169,16 @@ class SabreMapper:
         Python loop; both paths produce bit-identical routed circuits (the
         equivalence is covered by tests), the reference path just exists for
         cross-checking and for pedagogical clarity.
+    incremental:
+        Additionally keep per-candidate score components cached *across* swap
+        iterations, rescoring only candidates the applied swap invalidated.
+        Off by default: on QFT workloads the front layer turns over every ~2
+        swaps (measured; see EXPERIMENTS.md "Performance"), which invalidates
+        the cache before it amortises, so the default path rescores per
+        iteration -- cheaply, because the extended-set term is only gathered
+        for candidates incident to an extended-set endpoint (every other
+        candidate's ext delta is exactly 0).  Output is bit-identical either
+        way.
     """
 
     name = "sabre"
@@ -131,6 +195,7 @@ class SabreMapper:
         decay_reset_interval: int = 5,
         trivial_initial_layout: bool = False,
         vectorized: bool = True,
+        incremental: bool = False,
     ) -> None:
         self.topology = topology
         self.seed = seed
@@ -141,11 +206,12 @@ class SabreMapper:
         self.decay_reset_interval = decay_reset_interval
         self.trivial_initial_layout = trivial_initial_layout
         self.vectorized = vectorized
+        self.incremental = incremental
+        # Stats of the most recent fast-path routing pass ({iterations,
+        # front_rebuilds, candidates_mean}); the perf harness uses them to
+        # check the per-swap-iteration cost stays flat at paper scale.
+        self.last_routing_stats: Optional[Dict[str, float]] = None
         self._dist = topology.distance_matrix()
-        self._adj_mask: Optional[np.ndarray] = None
-        self._incident: Optional[
-            Tuple[List[Tuple[int, int]], np.ndarray, np.ndarray]
-        ] = None
 
     # ------------------------------------------------------------------
     def map_qft(self, num_qubits: Optional[int] = None) -> MappedCircuit:
@@ -374,44 +440,6 @@ class SabreMapper:
         return builder, final_layout
 
     # ------------------------------------------------------------------
-    def _adjacency_mask(self) -> np.ndarray:
-        """Boolean coupling matrix (lazy, shared across routing passes)."""
-
-        if self._adj_mask is None:
-            n = self.topology.num_qubits
-            mask = np.zeros((n, n), dtype=bool)
-            for a, b in self.topology.edge_set:
-                mask[a, b] = mask[b, a] = True
-            self._adj_mask = mask
-        return self._adj_mask
-
-    def _edge_tables(
-        self,
-    ) -> Tuple[List[Tuple[int, int]], np.ndarray, np.ndarray]:
-        """Edge ids in lexicographic order plus per-qubit incidence bitsets.
-
-        Edge id order equals ``sorted(edge_set)`` order, so an ascending array
-        of edge ids enumerates candidates exactly like the reference's
-        ``sorted(candidates)`` over (a, b) tuples.
-        """
-
-        if self._incident is None:
-            edge_list = sorted(self.topology.edge_set)
-            edge_arr = np.asarray(edge_list, dtype=np.intp)
-            # Incidence as little-endian bitsets: one row of bytes per qubit,
-            # bit eid set iff edge eid touches the qubit.  The union of
-            # incident edges over any qubit set is then a single
-            # bitwise_or.reduce + unpackbits, and ascending bit position ==
-            # lexicographic (a, b) edge order.
-            nbytes = (len(edge_list) + 7) // 8
-            edge_bits = np.zeros((self.topology.num_qubits, max(1, nbytes)), dtype=np.uint8)
-            for eid, (a, b) in enumerate(edge_list):
-                edge_bits[a, eid >> 3] |= 1 << (eid & 7)
-                edge_bits[b, eid >> 3] |= 1 << (eid & 7)
-            self._incident = (edge_list, edge_arr, edge_bits)
-        return self._incident
-
-    # ------------------------------------------------------------------
     def _route_fast(
         self,
         circuit: Circuit,
@@ -420,14 +448,43 @@ class SabreMapper:
         *,
         emit: bool,
     ) -> Tuple[Optional[MappingBuilder], List[int]]:
-        """Vectorised routing pass (no logical SWAPs; see :meth:`_route`).
+        """Vectorised, incrementally-scored routing pass (see :meth:`_route`).
 
         Bit-identical to :meth:`_route_reference` by construction: gates are
         executed in the same sorted-front sweep order, candidate SWAPs are
         enumerated into the same sorted list, every distance sum is a sum of
-        integer-valued float64 entries (exact regardless of summation order),
+        integer-valued float64 entries (exact regardless of summation order
+        or regrouping, which is what licenses the delta bookkeeping below),
         and the scalar post-processing (divide, weight, decay, tie-break,
         RNG draw) applies the same operations in the same order.
+
+        Incremental scoring
+        -------------------
+        For a candidate swap ``e = (pa, pb)`` the heuristic needs the front
+        and extended-set distance sums *after* hypothetically applying ``e``.
+        Both are maintained as ``base + delta[e]``:
+
+        * ``base_front`` / ``base_ext`` are the sums at the *current* layout,
+          updated in O(moved gates) after each applied swap;
+        * ``cand_front[e]`` / ``cand_ext[e]`` hold
+          ``sum(after e) - sum(current)``, which only involves gates incident
+          to ``e``.  After applying a swap ``s``, ``delta[e]`` can only change
+          for candidates that share a physical position with a front or
+          extended-set gate that ``s`` moved -- those few candidates are
+          invalidated (via the incidence bitsets) and lazily rescored; every
+          other cached component is reused as-is.
+
+        A front-layer change replaces the extended set wholesale, so it
+        invalidates all cached components.
+
+        The cross-iteration *score cache* (``incremental=True``) only pays
+        for itself when many swap iterations elapse between front-layer
+        changes; on QFT workloads the front turns over every ~2 swaps, so the
+        default keeps the per-iteration rescore (made cheap by the ext
+        incidence split) and the cache stays opt-in.  The O(1) base-sum and
+        position-table maintenance is always on (it replaces a per-iteration
+        O(front) rebuild).  Both settings are bit-identical; only speed
+        differs.
         """
 
         n = circuit.num_qubits
@@ -454,9 +511,9 @@ class SabreMapper:
         is2q = np.fromiter((g.is_two_qubit for g in gates), dtype=bool, count=num_gates)
         is2q_list = is2q.tolist()  # python bools for scalar-indexed hot paths
 
-        adj1 = self._adjacency_mask()
-        edge_list, edge_arr, edge_bits = self._edge_tables()
+        adj1, edge_list, edge_arr, edge_bits = sabre_tables_for(topo)
         num_edges = len(edge_list)
+        use_cache = self.incremental
 
         indegree = list(dag.indegree)
         front: Set[int] = {i for i, d in enumerate(indegree) if d == 0}
@@ -497,20 +554,35 @@ class SabreMapper:
         def extended_set(front_2q: List[int]) -> List[int]:
             return _extended_set_of(successors, is2q_list, front_2q, esize)
 
-        # Per-front cached scoring arrays (rebuilt only when `front` changes).
-        # The front term is delta-scored: front gates are vertex-disjoint (the
-        # DAG is built from per-qubit chains, so two front gates can never
-        # share a qubit), hence each physical position hosts at most one
-        # front-gate endpoint and a candidate swap (p, q) perturbs the front
-        # distance sum by at most two O(1) corrections.  The extended set may
-        # share qubits, so it keeps the batched relabel-and-gather path; it
-        # is capped at extended_set_size (20) gates, which bounds that matrix.
-        ext_q: Optional[np.ndarray] = None  # [a(ext) | b(ext)] logical ids
-        n_front = n_ext = 0
-        front_qubits: List[int] = []
+        # Incremental scorer state.  `pos_in_front` / `pos_other` describe the
+        # front layer by physical position: front gates are vertex-disjoint
+        # (the DAG is built from per-qubit chains, so two front gates can
+        # never share a qubit), hence each position hosts at most one
+        # front-gate endpoint.  `cand_front` / `cand_ext` hold the per-edge
+        # score deltas described in the docstring; `cand_valid` tracks which
+        # of them are current for this front layer and layout.
         N = topo.num_qubits
         pos_other = np.zeros(N, dtype=np.intp)  # other endpoint of the front
         pos_in_front = np.zeros(N, dtype=bool)  # gate at this position, if any
+        cand_front = np.zeros(num_edges)
+        cand_ext = np.zeros(num_edges)
+        cand_valid = np.zeros(num_edges, dtype=bool)
+        base_front = 0.0
+        base_ext = 0.0
+        n_front = n_ext = 0
+        ext_q: Optional[np.ndarray] = None  # [a(ext) | b(ext)] logical ids
+        ext_pos_arr: Optional[np.ndarray] = None  # their physical positions
+        ext_pos: List[int] = []  # same, as a list for cheap membership scans
+        ext_touch: Optional[np.ndarray] = None  # uint8 by eid: edge meets ext
+        ext_stale = False  # ext position tables need a lazy recompute
+        cand_dirty = True  # the set of front positions (hence edges) changed
+        eids: Optional[np.ndarray] = None
+
+        # Routing statistics (exposed as `last_routing_stats`; used by the
+        # perf harness to check the per-swap-iteration cost stays flat).
+        n_iterations = 0
+        n_rebuilds = 0
+        cand_total = 0
 
         # Main routing loop -------------------------------------------------
         guard = 0
@@ -544,83 +616,156 @@ class SabreMapper:
                     # always executable); defensive guard
                     raise RuntimeError("SABRE front layer contains no 2-qubit gate")
                 ext = extended_set(front_2q)
+                n_rebuilds += 1
                 f_arr = np.fromiter(front_2q, dtype=np.intp, count=len(front_2q))
                 fq0, fq1 = gq0[f_arr], gq1[f_arr]
                 n_front, n_ext = len(front_2q), len(ext)
-                if ext:
-                    e_arr = np.fromiter(ext, dtype=np.intp, count=len(ext))
+                fa, fb = ltp[fq0], ltp[fq1]
+                # Every distance is an integer-valued float64, so base sums
+                # and deltas reproduce the reference's in-order summation
+                # exactly, no matter how they are regrouped.
+                base_front = float(dist_flat.take(fa * N + fb).sum())
+                pos_in_front.fill(False)
+                pos_in_front[fa] = True
+                pos_in_front[fb] = True
+                pos_other[fa] = fb
+                pos_other[fb] = fa
+                if n_ext:
+                    e_arr = np.fromiter(ext, dtype=np.intp, count=n_ext)
                     ext_q = np.concatenate((gq0[e_arr], gq1[e_arr]))
+                    ext_stale = True
                 else:
-                    ext_q = None
-                front_qubits = sorted(
-                    {q for g in front_2q for q in gates[g].qubits}
-                )
-                front_q_arr = np.fromiter(
-                    front_qubits, dtype=np.intp, count=len(front_qubits)
-                )
+                    ext_q = ext_pos_arr = ext_touch = None
+                    base_ext = 0.0
+                    ext_pos = []
+                    ext_stale = False
+                cand_valid.fill(False)
+                cand_dirty = True
                 front_dirty = False
 
-            # Candidate SWAPs = unique edges incident to a front-gate qubit,
-            # in lexicographic (a, b) order == ascending edge-id order
-            # (bitset union over the front qubits' incidence rows).
-            union = np.bitwise_or.reduce(edge_bits[ltp[front_q_arr]], axis=0)
-            eids = np.flatnonzero(
-                np.unpackbits(union, bitorder="little")[:num_edges]
-            )
-            carr = edge_arr[eids]
-            pa_v, pb_v = carr[:, 0], carr[:, 1]
+            # Candidate SWAPs = unique edges incident to a front-gate
+            # position, in lexicographic (a, b) order == ascending edge-id
+            # order (bitset union over the positions' incidence rows).
+            # Recomputed only when the *set* of front positions changed -- a
+            # swap between two front endpoints leaves it intact.
+            if cand_dirty:
+                union = np.bitwise_or.reduce(
+                    edge_bits[np.flatnonzero(pos_in_front)], axis=0
+                )
+                eids = np.flatnonzero(
+                    np.unpackbits(union, bitorder="little")[:num_edges]
+                )
+                cand_dirty = False
 
-            # Front term by exact deltas.  Every value involved is an
-            # integer-valued float64, so base_sum + corrections is the exact
-            # same float the reference's in-order summation produces.
-            fa, fb = ltp[fq0], ltp[fq1]
-            base_sum = dist_flat.take(fa * N + fb).sum()
-            pos_in_front.fill(False)
-            pos_in_front[fa] = True
-            pos_in_front[fb] = True
-            pos_other[fa] = fb
-            pos_other[fb] = fa
-            o1 = pos_other[pa_v]
-            o2 = pos_other[pb_v]
-            d1 = np.where(
-                pos_in_front[pa_v] & (o1 != pb_v),
-                dist_flat.take(pb_v * N + o1) - dist_flat.take(pa_v * N + o1),
-                0.0,
-            )
-            d2 = np.where(
-                pos_in_front[pb_v] & (o2 != pa_v),
-                dist_flat.take(pa_v * N + o2) - dist_flat.take(pb_v * N + o2),
-                0.0,
-            )
-            s_front = (base_sum + d1 + d2) / max(1, n_front)
+            if ext_stale:
+                # Lazy refresh of the extended-set position tables (ext is
+                # capped at ~20 gates): current endpoint positions, the base
+                # distance sum, and the edges-meeting-ext incidence mask.
+                ext_pos_arr = ltp[ext_q]
+                base_ext = float(
+                    dist_flat.take(
+                        ext_pos_arr[:n_ext] * N + ext_pos_arr[n_ext:]
+                    ).sum()
+                )
+                ext_pos = ext_pos_arr.tolist()
+                ext_touch = np.unpackbits(
+                    np.bitwise_or.reduce(edge_bits[ext_pos_arr], axis=0),
+                    bitorder="little",
+                )[:num_edges]
+                ext_stale = False
 
-            # Extended-set term: relabel every endpoint per candidate
-            # (pa <-> pb) and gather the pair distances in one shot.
+            n_iterations += 1
+            cand_total += eids.size
+
+            # Rescore only the candidates whose cached components are stale
+            # (new to the candidate set, or invalidated by an applied swap);
+            # without the score cache, every candidate, every iteration.
+            stale = eids[~cand_valid[eids]] if use_cache else eids
+            fdel = edel = None
+            if stale.size:
+                sarr = edge_arr[stale]
+                spa, spb = sarr[:, 0], sarr[:, 1]
+                # Front delta: vertex-disjoint front gates mean a candidate
+                # (pa, pb) perturbs the front sum by at most two corrections.
+                o1 = pos_other[spa]
+                o2 = pos_other[spb]
+                d1 = np.where(
+                    pos_in_front[spa] & (o1 != spb),
+                    dist_flat.take(spb * N + o1) - dist_flat.take(spa * N + o1),
+                    0.0,
+                )
+                d2 = np.where(
+                    pos_in_front[spb] & (o2 != spa),
+                    dist_flat.take(spa * N + o2) - dist_flat.take(spb * N + o2),
+                    0.0,
+                )
+                fdel = d1 + d2
+                if n_ext:
+                    # Extended-set delta.  A candidate that meets no
+                    # extended-set position leaves every ext pair in place,
+                    # so its delta is exactly 0 -- only candidates incident
+                    # to an ext endpoint need the relabel-and-gather matrix:
+                    # relabel their endpoints (pa <-> pb), gather the pair
+                    # distances, subtract the current-layout base sum.  When
+                    # nearly every candidate touches the ext set (small
+                    # topologies) the subset machinery costs more than the
+                    # skipped rows, so relabel everything instead -- a
+                    # non-touching row's gathered sum equals base_ext, hence
+                    # its delta is the exact same 0 either way.
+                    sel = ext_touch[stale].view(bool)
+                    n_touch = int(sel.sum())
+                    ab = ext_pos_arr
+                    if stale.size - n_touch < 16:
+                        tpa, tpb = spa, spb
+                    else:
+                        tpa, tpb = spa[sel], spb[sel]
+                    if n_touch:
+                        ab2 = np.where(
+                            ab[None, :] == tpa[:, None],
+                            tpb[:, None],
+                            np.where(
+                                ab[None, :] == tpb[:, None], tpa[:, None], ab[None, :]
+                            ),
+                        )
+                        flat = ab2[:, :n_ext]
+                        flat = flat * N
+                        flat += ab2[:, n_ext:]
+                        sums = dist_flat.take(flat).sum(axis=1) - base_ext
+                        if tpa is spa:
+                            edel = sums
+                        else:
+                            edel = np.zeros(stale.size)
+                            edel[sel] = sums
+                    else:
+                        edel = np.zeros(stale.size)
+                if use_cache:
+                    cand_front[stale] = fdel
+                    if n_ext:
+                        cand_ext[stale] = edel
+                    cand_valid[stale] = True
+
+            if use_cache:
+                carr = edge_arr[eids]
+                pa_v, pb_v = carr[:, 0], carr[:, 1]
+                fdel = cand_front[eids]
+                edel = cand_ext[eids]
+            else:  # stale == eids: the freshly computed deltas are the scores
+                pa_v, pb_v = spa, spb
+            s_front = (base_front + fdel) / max(1, n_front)
             if n_ext:
-                ab = ltp[ext_q]
-                ab2 = np.where(
-                    ab[None, :] == pa_v[:, None],
-                    pb_v[:, None],
-                    np.where(
-                        ab[None, :] == pb_v[:, None], pa_v[:, None], ab[None, :]
-                    ),
-                )
-                flat = ab2[:, :n_ext]
-                flat = flat * N
-                flat += ab2[:, n_ext:]
-                s_ext = (
-                    self.extended_set_weight
-                    * dist_flat.take(flat).sum(axis=1)
-                    / n_ext
-                )
+                s_ext = self.extended_set_weight * (base_ext + edel) / n_ext
             else:
                 s_ext = 0.0
             scores = np.maximum(decay[pa_v], decay[pb_v]) * (s_front + s_ext)
 
             # Tie-break exactly like the reference loop.  With a unique
             # minimum (no other score within the 2e-12 tie window) the
-            # reference loop provably ends with best_swaps == [argmin], so the
-            # scalar scan is only needed when scores genuinely cluster.
+            # reference loop provably ends with best_swaps == [argmin], and
+            # the scalar scan can be restricted to the near-minimum subset:
+            # a candidate with score > min + 2e-12 can neither take over the
+            # running best (the running best never exceeds min + 1e-12) nor
+            # land inside its 1e-12 tie window, so it is a no-op in the
+            # reference scan.
             min_score = scores.min()
             near = np.flatnonzero(scores <= min_score + 2e-12)
             if near.size == 1:
@@ -628,13 +773,13 @@ class SabreMapper:
             else:
                 best_score = None
                 best_swaps = []
-                cand = [edge_list[e] for e in eids.tolist()]
-                for (pa, pb), score in zip(cand, scores.tolist()):
+                near_eids = eids[near]
+                for e, score in zip(near_eids.tolist(), scores[near].tolist()):
                     if best_score is None or score < best_score - 1e-12:
                         best_score = score
-                        best_swaps = [(pa, pb)]
+                        best_swaps = [edge_list[e]]
                     elif abs(score - best_score) <= 1e-12:
-                        best_swaps.append((pa, pb))
+                        best_swaps.append(edge_list[e])
             pa, pb = rng.choice(best_swaps)
 
             if emit:
@@ -656,6 +801,84 @@ class SabreMapper:
             elif pa in phys_to_log:
                 del phys_to_log[pa]
 
+            # Incremental maintenance: update the base sums and position
+            # tables for the front / extended-set gates the swap moved, and
+            # invalidate the cached components of exactly the candidates
+            # incident to a position such a gate touches.  Candidates away
+            # from every moved gate keep their deltas (the delta of a
+            # candidate only involves gates incident to it).
+            invalid_positions: List[int] = []
+            need_sweep = False
+
+            if n_ext and (pa in ext_pos or pb in ext_pos):
+                if use_cache:
+                    # Incremental update: adjust the base sum by the moved
+                    # gates and remember their endpoints for invalidation.
+                    p0, p1 = ext_pos_arr[:n_ext], ext_pos_arr[n_ext:]
+                    moved = (p0 == pa) | (p0 == pb) | (p1 == pa) | (p1 == pb)
+                    m0, m1 = p0[moved], p1[moved]
+                    n0 = np.where(m0 == pa, pb, np.where(m0 == pb, pa, m0))
+                    n1 = np.where(m1 == pa, pb, np.where(m1 == pb, pa, m1))
+                    base_ext += float(
+                        dist_flat.take(n0 * N + n1).sum()
+                        - dist_flat.take(m0 * N + m1).sum()
+                    )
+                    invalid_positions.extend(m0.tolist())
+                    invalid_positions.extend(m1.tolist())
+                    ext_pos_arr = np.where(
+                        ext_pos_arr == pa,
+                        pb,
+                        np.where(ext_pos_arr == pb, pa, ext_pos_arr),
+                    )
+                    ext_pos = ext_pos_arr.tolist()
+                    ext_touch = np.unpackbits(
+                        np.bitwise_or.reduce(edge_bits[ext_pos_arr], axis=0),
+                        bitorder="little",
+                    )[:num_edges]
+                else:
+                    # No score cache to patch up: just refresh lazily.
+                    ext_stale = True
+
+            in_a = bool(pos_in_front[pa])
+            in_b = bool(pos_in_front[pb])
+            if in_a != in_b:
+                cand_dirty = True  # the set of front positions changed
+            if in_a or in_b:
+                oa = int(pos_other[pa]) if in_a else -1
+                ob = int(pos_other[pb]) if in_b else -1
+                pos_in_front[pa], pos_in_front[pb] = in_b, in_a
+                # A front gate spanning (pa, pb) itself cannot occur here --
+                # candidates are coupled edges, so such a gate would have been
+                # executed by the sweep -- but the oa != pb / ob != pa guards
+                # keep the bookkeeping exact even for that degenerate case
+                # (the gate's position pair, hence everything derived from it,
+                # would be unchanged).
+                if in_a and oa != pb:
+                    base_front += dist[pb, oa] - dist[pa, oa]
+                    invalid_positions.append(oa)
+                    pos_other[pb] = oa
+                    pos_other[oa] = pb
+                    if adj1[pb, oa]:
+                        need_sweep = True
+                if in_b and ob != pa:
+                    base_front += dist[pa, ob] - dist[pb, ob]
+                    invalid_positions.append(ob)
+                    pos_other[pa] = ob
+                    pos_other[ob] = pa
+                    if adj1[pa, ob]:
+                        need_sweep = True
+
+            if use_cache and invalid_positions:
+                invalid_positions.append(pa)
+                invalid_positions.append(pb)
+                pts = np.fromiter(set(invalid_positions), dtype=np.intp)
+                touched = np.bitwise_or.reduce(edge_bits[pts], axis=0)
+                cand_valid[
+                    np.flatnonzero(
+                        np.unpackbits(touched, bitorder="little")[:num_edges]
+                    )
+                ] = False
+
             swaps_since_reset += 1
             decay[pa] += self.decay_delta
             decay[pb] += self.decay_delta
@@ -663,10 +886,10 @@ class SabreMapper:
                 decay[:] = 1.0
                 swaps_since_reset = 0
 
-            # After sweeps converge the front holds only blocked 2-qubit
-            # gates, so the sweep can be skipped entirely unless this swap
-            # made one of them executable (one cached adjacency probe).
-            need_sweep = bool(adj1[ltp[fq0], ltp[fq1]].any())
-
+        self.last_routing_stats = {
+            "iterations": n_iterations,
+            "front_rebuilds": n_rebuilds,
+            "candidates_mean": cand_total / max(1, n_iterations),
+        }
         final_layout = list(log_to_phys)
         return builder, final_layout

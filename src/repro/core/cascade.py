@@ -189,15 +189,44 @@ def cascade_on_line(
     if not part:
         return {"layers": 0, "swaps": 0, "fallback_swaps": 0}
 
+    # Pending-work counters, maintained alongside every mark_* call in the
+    # loop below so the per-layer predicates are O(1) instead of rescanning
+    # all participant pairs (which made large lines O(n^3) overall):
+    # pend_in[q]   = #pending pairs between q and the other participants,
+    # pending_pair_count = #pending pairs within the participant set,
+    # h_missing    = #participants still owed their Hadamard.
+    part_sorted = sorted(part)
+    pend_in: Dict[int, int] = {q: 0 for q in part}
+    pending_pair_count = 0
+    if len(part) == tracker.n:
+        # whole-circuit cascade (the LNN mapper): the tracker's own per-qubit
+        # counters already hold the within-part pending counts
+        for q in part_sorted:
+            pend_in[q] = tracker.pending_smaller[q] + tracker.pending_larger[q]
+        pending_pair_count = tracker.total_pairs - tracker.pairs_completed
+    else:
+        for i, a in enumerate(part_sorted):
+            for b in part_sorted[i + 1 :]:
+                if tracker.pair_is_pending(a, b):
+                    pend_in[a] += 1
+                    pend_in[b] += 1
+                    pending_pair_count += 1
+    h_missing = sum(1 for q in part if not tracker.h_done[q])
+
+    def note_cphase(lo: int, hi: int) -> None:
+        nonlocal pending_pair_count
+        if lo in part and hi in part:
+            pend_in[lo] -= 1
+            pend_in[hi] -= 1
+            pending_pair_count -= 1
+
     def participant_pending(q: int) -> bool:
-        if q not in part:
-            return False
-        return any(tracker.pair_is_pending(q, r) for r in part if r != q)
+        # == q in part and any(tracker.pair_is_pending(q, r) for r in part)
+        return q in part and pend_in[q] > 0
 
     def finished() -> bool:
-        if not tracker.all_pairs_done_within(part):
-            return False
-        return all(tracker.h_done[q] for q in part)
+        # == tracker.all_pairs_done_within(part) and all participants H'd
+        return pending_pair_count == 0 and h_missing == 0
 
     swaps = 0
     fallback_swaps = 0
@@ -235,6 +264,7 @@ def cascade_on_line(
             if lq in part and tracker.can_h(lq):
                 builder.h(phys, tag=tag)
                 tracker.mark_h(lq)
+                h_missing -= 1
                 claimed.add(pos)
                 emitted_any = True
 
@@ -252,6 +282,7 @@ def cascade_on_line(
             if tracker.can_cphase(lo, hi) and (both_participants or opportunistic):
                 builder.cphase(pa, pb, qft_angle(lo, hi), tag=tag)
                 tracker.mark_cphase(lo, hi)
+                note_cphase(lo, hi)
                 claimed.update((pos, pos + 1))
                 emitted_any = True
             elif (

@@ -139,16 +139,20 @@ def bipartite_all_to_all(
 
     side_a = _residents(builder, line_a)
     side_b = _residents(builder, line_b)
-    targets = _cross_pending(tracker, side_a, side_b)
+    # `pending` starts as the full target set and shrinks as cphase_pass
+    # completes pairs (nothing else marks pairs while this function runs), so
+    # membership doubles as the pair_is_pending check and remaining() is O(1)
+    # instead of rescanning every target each round.
+    pending = _cross_pending(tracker, side_a, side_b)
     stats: InterUnitStats = {
-        "target_pairs": len(targets),
+        "target_pairs": len(pending),
         "pattern_rounds": 0,
         "swap_layers": 0,
         "fixup_rounds": 0,
         "fallback_swaps": 0,
         "missed_after_pattern": 0,
     }
-    if not targets:
+    if not pending:
         return stats
 
     side_of = {q: 0 for q in side_a}
@@ -168,7 +172,7 @@ def bipartite_all_to_all(
             if x is None or y is None or x < 0 or y < 0:
                 continue
             lo, hi = (x, y) if x < y else (y, x)
-            if (lo, hi) not in targets or not tracker.pair_is_pending(lo, hi):
+            if (lo, hi) not in pending:
                 continue
             if not tracker.can_cphase(lo, hi):
                 continue
@@ -176,9 +180,10 @@ def bipartite_all_to_all(
                 continue
             builder.cphase(pa, pb, qft_angle(lo, hi), tag=tag)
             tracker.mark_cphase(lo, hi)
+            pending.discard((lo, hi))
 
     def remaining() -> Set[Tuple[int, int]]:
-        return {p for p in targets if tracker.pair_is_pending(*p)}
+        return pending
 
     def swap_layer(line: Sequence[int], parity: int, swap_tag: str) -> None:
         for p in range(parity % 2, len(line) - 1, 2):

@@ -6,9 +6,14 @@ available experiments and profiles.  Useful flags::
     -e/--experiment NAME   one of table1, fig17..fig19, fig27, relaxed,
                            partition, linearity, or "all"
     --profile quick|paper  instance sizes
-    --jobs N               fan evaluation cells out over N worker processes
+    --jobs N               fan evaluation cells out over N worker processes;
+                           cells sharing a topology are grouped into chunks
+                           so each worker builds the topology, distance
+                           matrix and SABRE tables once per topology
     --cache DIR            JSON result cache; warm re-runs only compute
                            cells missing under the current code version
+    --cache-merge DIR...   union sharded cache directories into --cache
+                           (then exit, unless -e is also given)
 """
 
 import sys

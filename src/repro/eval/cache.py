@@ -10,7 +10,10 @@ serving results from an older algorithm.
 
 Entries are one JSON file per cell (atomic rename on write), which makes the
 cache safe to share between the worker processes of the parallel harness --
-two workers writing the same cell write identical bytes.
+two workers writing the same cell write identical bytes.  The same property
+makes caches from *different machines* unionable: :meth:`ResultCache.merge`
+(CLI: ``python -m repro.eval --cache DEST --cache-merge DIR...``) copies over
+entries whose keys are absent, which is how sharded sweeps are combined.
 """
 
 from __future__ import annotations
@@ -72,6 +75,7 @@ class ResultCache:
         size: int,
         kwargs: Iterable[Tuple[str, object]] = (),
         rename: Optional[str] = None,
+        timeout_s: Optional[float] = None,
     ) -> str:
         payload = json.dumps(
             {
@@ -80,6 +84,7 @@ class ResultCache:
                 "size": size,
                 "kwargs": sorted((str(k), repr(v)) for k, v in kwargs),
                 "rename": rename,
+                "timeout_s": timeout_s,
                 "code": self.version,
             },
             sort_keys=True,
@@ -122,6 +127,49 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    # ------------------------------------------------------------------
+    def merge(self, other_root: os.PathLike) -> Dict[str, int]:
+        """Union the entries of another cache directory into this one.
+
+        The key of every entry already encodes spec + code version in its
+        file name, so merging is a file-level union: entries whose key is
+        present here are skipped (same key == identical bytes by
+        construction), unreadable/corrupt files are counted and ignored, and
+        everything else is copied atomically (write + rename, like
+        :meth:`put`) so a merge is safe to run concurrently with writers.
+        This is the union step for sharded sweeps: machines run disjoint
+        slices against private cache dirs, then one host merges them.
+        """
+
+        other = Path(other_root)
+        if not other.is_dir():
+            raise FileNotFoundError(f"cache directory {other} does not exist")
+        imported = skipped = invalid = 0
+        for path in sorted(other.glob("*.json")):
+            dest = self._path(path.stem)
+            if dest.exists():
+                skipped += 1
+                continue
+            try:
+                raw = path.read_bytes()
+                CompilationResult.from_dict(json.loads(raw.decode("utf-8")))
+            except (OSError, ValueError, TypeError):
+                invalid += 1
+                continue
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(raw)
+                os.replace(tmp, dest)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            imported += 1
+        return {"imported": imported, "skipped": skipped, "invalid": invalid}
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:

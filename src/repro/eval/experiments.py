@@ -8,8 +8,10 @@ EXPERIMENTS.md records.
 
 Experiments are declared as lists of :class:`~repro.eval.parallel.CellSpec`
 and executed through :func:`~repro.eval.parallel.run_cells`, so every
-experiment transparently supports ``jobs`` (process fan-out) and ``cache``
-(incremental re-runs); the CLI exposes both as ``--jobs N`` / ``--cache DIR``.
+experiment transparently supports ``jobs`` (process fan-out, with cells
+grouped by topology so workers build each coupling graph's tables once) and
+``cache`` (incremental re-runs); the CLI exposes both as ``--jobs N`` /
+``--cache DIR``, plus ``--cache-merge DIR...`` to union sharded caches.
 
 Two profiles control instance sizes:
 
@@ -392,6 +394,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="result cache directory; re-runs only compute cells not already "
         "cached under the current code version",
     )
+    parser.add_argument(
+        "--cache-merge",
+        metavar="DIR",
+        nargs="+",
+        default=None,
+        help="merge the given cache directories into --cache (union of "
+        "sharded sweeps) and exit unless experiments are also requested",
+    )
     args = parser.parse_args(argv)
 
     if args.jobs < 1:
@@ -401,6 +411,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache = ResultCache(args.cache) if args.cache else None
     except OSError as exc:
         parser.error(f"--cache {args.cache!r} is not a usable directory: {exc}")
+    if args.cache_merge:
+        if cache is None:
+            parser.error("--cache-merge requires --cache DIR (the destination)")
+        for src in args.cache_merge:
+            try:
+                stats = cache.merge(src)
+            except FileNotFoundError as exc:
+                parser.error(str(exc))
+            print(
+                f"merged {src}: {stats['imported']} imported, "
+                f"{stats['skipped']} already present, {stats['invalid']} invalid"
+            )
+        if not args.experiment:
+            return 0
     wanted = args.experiment or ["all"]
     if "all" in wanted:
         wanted = sorted(_EXPERIMENTS)

@@ -1,4 +1,4 @@
-"""Parallel, cache-aware execution of evaluation cells.
+"""Parallel, cache-aware, topology-grouped execution of evaluation cells.
 
 The experiment definitions in :mod:`repro.eval.experiments` describe *what*
 to run as lists of :class:`CellSpec`; this module decides *how*: serially or
@@ -7,20 +7,33 @@ threads would not help), with an optional
 :class:`~repro.eval.cache.ResultCache` consulted first so warm re-runs cost
 milliseconds per cell.
 
-Results come back in spec order regardless of ``jobs``, and every cell is
-deterministic given its spec, so ``--jobs N`` never changes the metrics --
-only the wall-clock time (a property the test suite asserts).
+Topology grouping
+-----------------
+Cells that target the same coupling graph (same canonical architecture kind
+and size, see :func:`~repro.eval.runners.architecture_key`) are dispatched to
+workers as whole chunks, and every worker resolves its topologies through the
+process-local memo in :mod:`repro.eval.runners` -- so the Topology object,
+its all-pairs distance matrix and the SABRE routing tables are built once per
+(worker, topology) rather than once per cell.  On fork-based platforms the
+parent additionally prewarms each distinct topology before spawning the pool,
+so workers inherit the tables copy-on-write and build nothing at all.
+
+Results come back in spec order regardless of ``jobs`` or grouping, and every
+cell is deterministic given its spec, so neither ``--jobs N`` nor the
+grouping ever changes the metrics -- only the wall-clock time (a property the
+test suite asserts).
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache
 from .metrics import CompilationResult
-from .runners import run_cell
+from .runners import architecture_key, cached_topology, prepare_topology, run_cell
 
 __all__ = ["CellSpec", "run_cells"]
 
@@ -32,7 +45,10 @@ class CellSpec:
     ``kwargs`` is stored as a sorted tuple of pairs so specs are hashable and
     picklable (process-pool workers receive the spec itself).  ``rename``
     optionally overrides the reported approach label, e.g. ``sabre-seed3``
-    for the Fig. 27 seed sweep.
+    for the Fig. 27 seed sweep.  ``timeout_s`` is the harness-enforced
+    per-cell budget: :func:`run_cells` reports cells that exceed it as
+    ``status == "timeout"`` results (the paper's TLE) instead of leaving
+    wall-clock checks to the approaches themselves.
     """
 
     approach: str
@@ -40,6 +56,7 @@ class CellSpec:
     size: int
     kwargs: Tuple[Tuple[str, object], ...] = ()
     rename: Optional[str] = None
+    timeout_s: Optional[float] = None
 
     @classmethod
     def make(
@@ -49,16 +66,75 @@ class CellSpec:
         size: int,
         *,
         rename: Optional[str] = None,
+        timeout_s: Optional[float] = None,
         **kwargs: object,
     ) -> "CellSpec":
-        return cls(approach, kind, size, tuple(sorted(kwargs.items())), rename)
+        return cls(
+            approach, kind, size, tuple(sorted(kwargs.items())), rename, timeout_s
+        )
 
 
 def _run_spec(spec: CellSpec) -> CompilationResult:
-    result = run_cell(spec.approach, spec.kind, spec.size, **dict(spec.kwargs))
+    topology = cached_topology(spec.kind, spec.size)  # None -> per-cell error
+    result = run_cell(
+        spec.approach,
+        spec.kind,
+        spec.size,
+        topology=topology,
+        timeout_s=spec.timeout_s,
+        **dict(spec.kwargs),
+    )
     if spec.rename is not None:
         result.approach = spec.rename
     return result
+
+
+def _run_chunk(
+    specs: Sequence[CellSpec],
+) -> Tuple[List[CompilationResult], Optional[Exception]]:
+    """Worker-side entry point: run a same-topology chunk of cells in order.
+
+    Returns the results plus the first raised exception (if any), so the
+    parent can record -- and cache -- the cells that *did* finish before
+    re-raising; with one task per chunk, a plain raise would otherwise
+    discard every completed result in the chunk.  Only ``Exception`` is
+    forwarded: KeyboardInterrupt/SystemExit must keep killing the worker
+    promptly rather than ride along as a value.
+    """
+
+    results: List[CompilationResult] = []
+    for spec in specs:
+        try:
+            results.append(_run_spec(spec))
+        except Exception as exc:
+            return results, exc
+    return results, None
+
+
+def _topology_chunks(
+    specs: Sequence[CellSpec], todo: Sequence[int], jobs: int
+) -> List[List[int]]:
+    """Partition ``todo`` into same-topology chunks for pool dispatch.
+
+    Each topology group is split into at most ``jobs`` chunks, so a sweep
+    dominated by one topology (e.g. a seed sweep) still saturates the pool
+    while cells sharing a topology land on as few workers as possible.
+    """
+
+    groups: Dict[Tuple[str, int], List[int]] = {}
+    for i in todo:
+        groups.setdefault(architecture_key(specs[i].kind, specs[i].size), []).append(i)
+
+    chunks: List[List[int]] = []
+    for members in groups.values():
+        parts = min(jobs, len(members))
+        base, extra = divmod(len(members), parts)
+        start = 0
+        for p in range(parts):
+            size = base + (1 if p < extra else 0)
+            chunks.append(members[start : start + size])
+            start += size
+    return chunks
 
 
 def run_cells(
@@ -66,11 +142,14 @@ def run_cells(
     *,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    group_topologies: bool = True,
 ) -> List[CompilationResult]:
     """Run every spec, in order, using up to ``jobs`` worker processes.
 
     With a cache, hits are served without running anything and fresh results
     are stored on the way out; only the misses are distributed to workers.
+    ``group_topologies=False`` disables the same-topology chunking (one task
+    per cell, as before); results are identical either way.
     """
 
     if jobs < 1:
@@ -82,7 +161,12 @@ def run_cells(
     for i, spec in enumerate(specs):
         if cache is not None:
             keys[i] = cache.key(
-                spec.approach, spec.kind, spec.size, spec.kwargs, spec.rename
+                spec.approach,
+                spec.kind,
+                spec.size,
+                spec.kwargs,
+                spec.rename,
+                spec.timeout_s,
             )
             hit = cache.get(keys[i])
             if hit is not None:
@@ -99,12 +183,40 @@ def run_cells(
             cache.put(keys[i], result)
 
     if jobs > 1 and len(todo) > 1:
-        # Record each cell as it completes so a mid-sweep crash (worker OOM,
-        # Ctrl-C, one bad cell) does not discard hours of finished work.
-        with ProcessPoolExecutor(max_workers=min(jobs, len(todo))) as pool:
-            futures = {pool.submit(_run_spec, specs[i]): i for i in todo}
+        # Warm each distinct topology (+ distance matrix + SABRE tables) in
+        # the parent first, where fork-based pools share them copy-on-write.
+        # Under spawn (macOS/Windows default) workers inherit nothing, so the
+        # parent-side work would be pure waste -- each worker's own memo
+        # still builds everything once per (worker, topology) there.
+        if multiprocessing.get_start_method() == "fork":
+            seen = set()
+            for i in todo:
+                key = architecture_key(specs[i].kind, specs[i].size)
+                if key not in seen:
+                    seen.add(key)
+                    prepare_topology(specs[i].kind, specs[i].size)
+        if group_topologies:
+            chunks = _topology_chunks(specs, todo, jobs)
+        else:
+            chunks = [[i] for i in todo]
+        # Record each chunk's finished cells as it completes -- including the
+        # prefix of a chunk whose later cell crashed (the worker forwards the
+        # exception instead of raising) -- so a mid-sweep failure (worker
+        # OOM, Ctrl-C, one bad cell) does not discard hours of finished work.
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+            futures = {
+                pool.submit(_run_chunk, [specs[i] for i in chunk]): chunk
+                for chunk in chunks
+            }
+            failure: Optional[Exception] = None
             for fut in as_completed(futures):
-                record(futures[fut], fut.result())
+                chunk_results, exc = fut.result()
+                for i, result in zip(futures[fut], chunk_results):
+                    record(i, result)
+                if exc is not None and failure is None:
+                    failure = exc
+            if failure is not None:
+                raise failure
     else:
         for i in todo:
             record(i, _run_spec(specs[i]))

@@ -20,8 +20,11 @@ Approaches:
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
-from typing import Callable, Dict, Iterable, List, Optional
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..arch import (
     CaterpillarTopology,
@@ -32,20 +35,42 @@ from ..arch import (
     Topology,
 )
 from ..baselines import LNNPathMapper, SabreMapper, SatmapMapper, SatmapTimeout
+from ..baselines.sabre import sabre_tables_for
 from ..core import GreedyRouterMapper, compile_qft
+from ..utils import BoundedCache
 from ..verify import check_mapped_qft_structure
 from .metrics import CompilationResult, result_from_mapped
 
-__all__ = ["make_architecture", "run_cell", "architecture_label", "APPROACHES"]
+__all__ = [
+    "make_architecture",
+    "run_cell",
+    "architecture_label",
+    "architecture_key",
+    "cached_topology",
+    "prepare_topology",
+    "cell_budget",
+    "CellBudgetExceeded",
+    "APPROACHES",
+]
 
 APPROACHES = ("ours", "sabre", "satmap", "lnn", "greedy")
 
 
-# Single source of truth per architecture kind: (constructor, paper-style
-# label template).  Synonyms share one entry so factory and label can't drift.
-_SYCAMORE = (lambda size: SycamoreTopology(size), "{size}*{size} Sycamore")
-_HEAVYHEX = (lambda size: CaterpillarTopology.regular_groups(size), "Heavy-hex {size}*5")
-_LATTICE = (lambda size: LatticeSurgeryTopology(size), "Lattice surgery {size}*{size}")
+# Single source of truth per architecture kind: (canonical name, constructor,
+# paper-style label template).  Synonyms share one entry so factory, label and
+# the grouping key can't drift.
+_SYCAMORE = ("sycamore", lambda size: SycamoreTopology(size), "{size}*{size} Sycamore")
+_HEAVYHEX = (
+    "heavyhex",
+    lambda size: CaterpillarTopology.regular_groups(size),
+    "Heavy-hex {size}*5",
+)
+_LATTICE = (
+    "lattice",
+    lambda size: LatticeSurgeryTopology(size),
+    "Lattice surgery {size}*{size}",
+)
+_LNN = ("lnn", lambda size: LNNTopology(size), "{kind} {size}")
 _ARCHITECTURES = {
     "sycamore": _SYCAMORE,
     "heavyhex": _HEAVYHEX,
@@ -54,17 +79,32 @@ _ARCHITECTURES = {
     "lattice": _LATTICE,
     "lattice-surgery": _LATTICE,
     "ft": _LATTICE,
-    "grid": (lambda size: GridTopology(size, size), "Grid {size}*{size}"),
-    "lnn": (lambda size: LNNTopology(size), "{kind} {size}"),
-    "line": (lambda size: LNNTopology(size), "{kind} {size}"),
+    "grid": ("grid", lambda size: GridTopology(size, size), "Grid {size}*{size}"),
+    "lnn": _LNN,
+    "line": _LNN,
 }
 
 
 def _architecture_factory(kind: str):
     try:
-        return _ARCHITECTURES[kind.lower()][0]
+        return _ARCHITECTURES[kind.lower()][1]
     except KeyError:
         raise ValueError(f"unknown architecture kind {kind!r}") from None
+
+
+def architecture_key(kind: str, size: int) -> Tuple[str, int]:
+    """Stable identity of the architecture instance ``(canonical kind, size)``.
+
+    Synonymous kind spellings (``heavyhex`` / ``heavy-hex`` / ``caterpillar``,
+    ...) map to the same key, so the parallel harness can group cells that
+    share a topology and build it once per worker.  Unknown kinds get their
+    lower-cased spelling as the canonical name (the factory raises later,
+    per-cell).
+    """
+
+    kind = kind.lower()
+    entry = _ARCHITECTURES.get(kind)
+    return (entry[0] if entry is not None else kind, size)
 
 
 def make_architecture(kind: str, size: int) -> Topology:
@@ -76,25 +116,110 @@ def make_architecture(kind: str, size: int) -> Topology:
 def architecture_label(kind: str, size: int) -> str:
     kind = kind.lower()
     entry = _ARCHITECTURES.get(kind)
-    template = entry[1] if entry is not None else "{kind} {size}"
+    template = entry[2] if entry is not None else "{kind} {size}"
     return template.format(kind=kind, size=size)
+
+
+# Process-local topology memo, keyed by `architecture_key`.  Evaluation sweeps
+# run many cells against the same coupling graph (seed sweeps in particular);
+# sharing the instance means the topology object, its distance matrix and the
+# SABRE routing tables are built once per (process, topology) instead of once
+# per cell.  Topology instances are immutable by convention (nothing in the
+# mapper stack writes to them), which is what makes the sharing safe.  LRU
+# bounded for the same reason as the distance-matrix cache.
+_TOPO_MEMO: BoundedCache = BoundedCache(8)
+
+
+def cached_topology(kind: str, size: int) -> Optional[Topology]:
+    """Shared topology instance for ``(kind, size)``, or None if construction
+    fails (the caller's `run_cell` re-runs construction to produce the
+    per-cell error result)."""
+
+    key = architecture_key(kind, size)
+    topo = _TOPO_MEMO.lookup(key)
+    if topo is not None:
+        return topo
+    try:
+        topo = _architecture_factory(kind)(size)
+    except ValueError:
+        return None
+    return _TOPO_MEMO.store(key, topo)
+
+
+def prepare_topology(kind: str, size: int) -> Optional[Topology]:
+    """Build + fully warm the shared topology for ``(kind, size)``.
+
+    Beyond :func:`cached_topology`, this precomputes the all-pairs distance
+    matrix and the SABRE routing tables, so forked pool workers inherit them
+    copy-on-write and never redo the work.  Returns None when the architecture
+    cannot be constructed (the per-cell run reports that as an error result).
+    """
+
+    topo = cached_topology(kind, size)
+    if topo is not None:
+        topo.distance_matrix()
+        sabre_tables_for(topo)
+    return topo
+
+
+class CellBudgetExceeded(Exception):
+    """Raised inside a cell whose harness-level time budget ran out."""
+
+
+@contextmanager
+def cell_budget(seconds: Optional[float]):
+    """Enforce a wall-clock budget on the enclosed block via ``SIGALRM``.
+
+    Yields True when the budget is armed.  Yields False -- and enforces
+    nothing -- when no budget was requested or the platform cannot deliver
+    SIGALRM here (non-main thread, non-Unix); callers may then fall back to
+    approach-internal deadline checks.
+    """
+
+    can_alarm = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        yield False
+        return
+
+    def _on_alarm(signum, frame):
+        raise CellBudgetExceeded(f"cell exceeded its {seconds:g}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # Options each approach accepts; anything else is a caller typo (e.g. `sede=3`
 # for `seed=3`) that would otherwise run with defaults, get reported as the
-# intended cell, and be persisted under the misspelled cache key.
+# intended cell, and be persisted under the misspelled cache key.  The cell
+# time budget is a harness-level option (`run_cell(timeout_s=...)`), not an
+# approach option.
 _APPROACH_KWARGS = {
     "ours": {"strict_ie"},
     "our": {"strict_ie"},
     "our-approach": {"strict_ie"},
     "sabre": {"seed", "passes"},
-    "satmap": {"timeout_s"},
+    "satmap": set(),
     "lnn": set(),
     "greedy": set(),
 }
 
 
-def _mapper_factory(approach: str, topology: Topology, **kwargs) -> Callable[[], object]:
+def _mapper_factory(
+    approach: str,
+    topology: Topology,
+    satmap_timeout_s: Optional[float] = None,
+    **kwargs,
+) -> Callable[[], object]:
     approach = approach.lower()
     allowed = _APPROACH_KWARGS.get(approach)
     if allowed is not None:
@@ -114,7 +239,10 @@ def _mapper_factory(approach: str, topology: Topology, **kwargs) -> Callable[[],
         )
         return mapper.map_qft
     if approach == "satmap":
-        mapper = SatmapMapper(topology, timeout_s=kwargs.get("timeout_s", 60.0))
+        mapper = SatmapMapper(
+            topology,
+            timeout_s=60.0 if satmap_timeout_s is None else satmap_timeout_s,
+        )
         return mapper.map_qft
     if approach == "lnn":
         mapper = LNNPathMapper(topology)
@@ -132,14 +260,26 @@ def run_cell(
     *,
     verify: bool = True,
     max_qubits: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    topology: Optional[Topology] = None,
     **kwargs,
 ) -> CompilationResult:
     """Compile QFT with one approach on one architecture instance.
 
     ``max_qubits`` marks the cell as "skipped" (instead of running for hours)
     when the instance exceeds the harness cap for that approach -- this is how
-    the benchmark suite keeps pure-Python SABRE runs bounded while still
-    reporting the full sweep for the analytical approach.
+    the benchmark suite keeps SABRE runs bounded while still reporting the
+    full sweep for the analytical approach.
+
+    ``timeout_s`` is the harness-level per-cell budget: the mapper call is
+    interrupted once the budget elapses and the cell is reported as
+    ``status == "timeout"`` (the paper's TLE).  The budget applies to every
+    approach; for SATMAP it *replaces* the stand-in's internal wall-clock
+    checks (which remain only as a fallback where SIGALRM is unavailable).
+
+    ``topology`` optionally injects a prebuilt (shared) topology instance, so
+    topology-grouped sweeps reuse one instance -- and its cached distance
+    matrix / routing tables -- across all the cells of a group.
 
     Architecture construction errors (e.g. an odd Sycamore patch size) are
     reported as a ``status == "error"`` result rather than raised, so one bad
@@ -149,27 +289,35 @@ def run_cell(
 
     label = architecture_label(kind, size)
     factory = _architecture_factory(kind)  # unknown kind: caller bug, raises
-    try:
-        topology = factory(size)
-    except ValueError as exc:
-        return CompilationResult(
-            approach=approach,
-            architecture=label,
-            num_qubits=0,
-            status="error",
-            message=str(exc),
-        )
+    if topology is None:
+        try:
+            topology = factory(size)
+        except ValueError as exc:
+            return CompilationResult(
+                approach=approach,
+                architecture=label,
+                num_qubits=0,
+                status="error",
+                message=str(exc),
+            )
     n = topology.num_qubits
     if max_qubits is not None and n > max_qubits:
         return CompilationResult(
             approach=approach, architecture=label, num_qubits=n, status="skipped"
         )
 
-    factory = _mapper_factory(approach, topology, **kwargs)
     start = time.perf_counter()
     try:
-        mapped = factory()
-    except SatmapTimeout:
+        with cell_budget(timeout_s) as armed:
+            satmap_timeout = None  # SatmapMapper's own default
+            if timeout_s is not None:
+                satmap_timeout = float("inf") if armed else float(timeout_s)
+            mapper = _mapper_factory(
+                approach, topology, satmap_timeout_s=satmap_timeout, **kwargs
+            )
+            start = time.perf_counter()
+            mapped = mapper()
+    except (SatmapTimeout, CellBudgetExceeded):
         elapsed = time.perf_counter() - start
         return CompilationResult(
             approach=approach,

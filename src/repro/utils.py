@@ -1,0 +1,54 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, TypeVar
+
+__all__ = ["BoundedCache", "clear_process_caches"]
+
+V = TypeVar("V")
+
+# Every BoundedCache instance; they are all process-wide module singletons,
+# so one hook can drop them together under memory pressure (see
+# repro.arch.topology.clear_distance_cache).
+_ALL_CACHES: "List[BoundedCache]" = []
+
+
+def clear_process_caches() -> None:
+    """Empty every process-wide BoundedCache (tests / memory pressure)."""
+
+    for cache in _ALL_CACHES:
+        cache.clear()
+
+
+class BoundedCache(OrderedDict):
+    """A tiny bounded LRU mapping.
+
+    Used for the process-wide caches keyed by coupling-graph identity
+    (distance matrices, SABRE routing tables, topology instances): lookups
+    refresh recency, and storing beyond ``max_entries`` evicts the least
+    recently used entry, so a paper-profile sweep over dozens of large
+    graphs cannot pin them all in memory for the life of the process.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        super().__init__()
+        self.max_entries = max_entries
+        _ALL_CACHES.append(self)
+
+    def lookup(self, key) -> Optional[V]:
+        """Value for ``key`` (refreshing its recency), or None."""
+
+        hit = self.get(key)
+        if hit is not None:
+            self.move_to_end(key)
+        return hit
+
+    def store(self, key, value: V) -> V:
+        """Insert ``value`` under ``key``, evicting the LRU entry if full."""
+
+        self[key] = value
+        if len(self) > self.max_entries:
+            self.popitem(last=False)
+        return value

@@ -9,7 +9,9 @@ from repro.eval.parallel import CellSpec, run_cells
 
 
 def _spec_key(cache, spec):
-    return cache.key(spec.approach, spec.kind, spec.size, spec.kwargs, spec.rename)
+    return cache.key(
+        spec.approach, spec.kind, spec.size, spec.kwargs, spec.rename, spec.timeout_s
+    )
 
 
 class TestResultCache:
@@ -99,3 +101,87 @@ class TestRunCellsWithCache:
         run_cells(specs, cache=cache_v2)
         assert cache_v2.stats()["hits"] == 0
         assert len(cache_v2) == 2  # both versions stored side by side
+
+    def test_timeout_budget_is_part_of_the_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        plain = CellSpec.make("satmap", "grid", 2)
+        budgeted = CellSpec.make("satmap", "grid", 2, timeout_s=5.0)
+        assert _spec_key(cache, plain) != _spec_key(cache, budgeted)
+
+
+class TestCacheMerge:
+    """Union of sharded sweep caches (ResultCache.merge / --cache-merge)."""
+
+    def _sharded_caches(self, tmp_path):
+        # two "machines" run disjoint slices of a seed sweep
+        shard_a = ResultCache(tmp_path / "a")
+        shard_b = ResultCache(tmp_path / "b")
+        specs_a = [CellSpec.make("sabre", "grid", 2, seed=s) for s in (0, 1)]
+        specs_b = [CellSpec.make("sabre", "grid", 2, seed=s) for s in (2, 3)]
+        run_cells(specs_a, cache=shard_a)
+        run_cells(specs_b, cache=shard_b)
+        return shard_a, shard_b, specs_a + specs_b
+
+    def test_merge_unions_disjoint_shards(self, tmp_path):
+        shard_a, shard_b, all_specs = self._sharded_caches(tmp_path)
+        merged = ResultCache(tmp_path / "merged")
+        assert merged.merge(shard_a.root) == {
+            "imported": 2,
+            "skipped": 0,
+            "invalid": 0,
+        }
+        assert merged.merge(shard_b.root) == {
+            "imported": 2,
+            "skipped": 0,
+            "invalid": 0,
+        }
+        # the merged cache serves the whole sweep warm
+        results = run_cells(all_specs, cache=merged)
+        assert merged.stats() == {"hits": 4, "misses": 0}
+        assert all(r.ok for r in results)
+
+    def test_merge_skips_entries_already_present(self, tmp_path):
+        shard_a, _, _ = self._sharded_caches(tmp_path)
+        merged = ResultCache(tmp_path / "merged")
+        merged.merge(shard_a.root)
+        again = merged.merge(shard_a.root)
+        assert again == {"imported": 0, "skipped": 2, "invalid": 0}
+
+    def test_merge_counts_and_ignores_corrupt_entries(self, tmp_path):
+        shard_a, _, _ = self._sharded_caches(tmp_path)
+        (shard_a.root / ("0" * 24 + ".json")).write_text("{broken", encoding="utf-8")
+        merged = ResultCache(tmp_path / "merged")
+        stats = merged.merge(shard_a.root)
+        assert stats["imported"] == 2 and stats["invalid"] == 1
+
+    def test_merge_missing_directory_raises(self, tmp_path):
+        cache = ResultCache(tmp_path / "dest")
+        with pytest.raises(FileNotFoundError):
+            cache.merge(tmp_path / "nope")
+
+    def test_cli_cache_merge(self, tmp_path, capsys):
+        from repro.eval.experiments import main
+
+        shard_a, shard_b, all_specs = self._sharded_caches(tmp_path)
+        dest = tmp_path / "merged"
+        rc = main(
+            [
+                "--cache",
+                str(dest),
+                "--cache-merge",
+                str(shard_a.root),
+                str(shard_b.root),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 imported" in out
+        merged = ResultCache(dest)
+        run_cells(all_specs, cache=merged)
+        assert merged.stats() == {"hits": 4, "misses": 0}
+
+    def test_cli_cache_merge_requires_cache(self, tmp_path):
+        from repro.eval.experiments import main
+
+        with pytest.raises(SystemExit):
+            main(["--cache-merge", str(tmp_path)])

@@ -1,0 +1,32 @@
+"""Pinned output metrics for representative evaluation cells.
+
+Every optimisation in the mapper stack (delta-scored SABRE, counter-based
+cascade bookkeeping, pending-set inter-unit interactions, topology-grouped
+execution) is required to leave compiled circuits unchanged.  These values
+were recorded from the PR-1 code (see BENCH_baseline_pr1.json) and must never
+drift: a failure here means an "optimisation" changed an algorithm.
+"""
+
+import pytest
+
+from repro.eval import run_cell
+
+# (approach, kind, size) -> (depth, swap_count), recorded at PR 1.
+PINNED = {
+    ("sabre", "grid", 5): (187, 261),
+    ("sabre", "grid", 7): (468, 976),
+    ("sabre", "heavyhex", 6): (393, 702),
+    ("ours", "heavyhex", 10): (247, 999),
+    ("ours", "lattice", 10): (1507, 4515),
+    ("lnn", "lattice", 10): (1149, 4949),
+}
+
+
+@pytest.mark.parametrize(
+    "approach,kind,size", sorted(PINNED), ids=lambda v: str(v)
+)
+def test_cell_metrics_match_pr1_baseline(approach, kind, size):
+    depth, swaps = PINNED[(approach, kind, size)]
+    res = run_cell(approach, kind, size)
+    assert res.ok and res.verified
+    assert (res.depth, res.swap_count) == (depth, swaps)

@@ -4,7 +4,8 @@ import pytest
 
 from repro.eval import ResultCache, run_cell
 from repro.eval.experiments import QUICK, specs_figure27, specs_table1
-from repro.eval.parallel import CellSpec, run_cells
+from repro.eval.parallel import CellSpec, _topology_chunks, run_cells
+from repro.eval.runners import architecture_key, cached_topology
 
 
 def _metrics(results):
@@ -81,6 +82,100 @@ class TestRunCellErrors:
 
         text = format_results([run_cell("ours", "sycamore", 9)])
         assert "even number" in text
+
+
+class TestTopologyGrouping:
+    def test_grouped_results_identical_to_serial_ungrouped(self):
+        # mixed topologies + a seed sweep sharing one topology
+        specs = [
+            CellSpec.make("ours", "heavyhex", 2),
+            CellSpec.make("sabre", "grid", 3, seed=0),
+            CellSpec.make("sabre", "grid", 3, seed=1),
+            CellSpec.make("lnn", "lattice", 3),
+            CellSpec.make("sabre", "grid", 3, seed=2),
+            CellSpec.make("ours", "heavyhex", 3),
+        ]
+        ungrouped = run_cells(specs, jobs=1, group_topologies=False)
+        grouped = run_cells(specs, jobs=2, group_topologies=True)
+        assert _metrics(ungrouped) == _metrics(grouped)
+
+    def test_chunks_group_by_canonical_topology(self):
+        specs = [
+            CellSpec.make("ours", "heavyhex", 2),
+            CellSpec.make("sabre", "heavy-hex", 2),  # synonym: same topology
+            CellSpec.make("ours", "grid", 3),
+        ]
+        chunks = _topology_chunks(specs, [0, 1, 2], jobs=1)
+        keyed = {tuple(c) for c in chunks}
+        assert keyed == {(0, 1), (2,)}
+
+    def test_chunks_split_single_topology_group_across_jobs(self):
+        specs = [CellSpec.make("sabre", "grid", 2, seed=s) for s in range(5)]
+        chunks = _topology_chunks(specs, list(range(5)), jobs=2)
+        assert sorted(i for c in chunks for i in c) == list(range(5))
+        assert len(chunks) == 2  # saturate the pool, not one worker
+        assert {len(c) for c in chunks} == {2, 3}
+
+    def test_architecture_key_normalises_synonyms(self):
+        assert architecture_key("heavy-hex", 4) == architecture_key("heavyhex", 4)
+        assert architecture_key("caterpillar", 4) == architecture_key("heavyhex", 4)
+        assert architecture_key("ft", 5) == architecture_key("lattice", 5)
+        assert architecture_key("grid", 3) != architecture_key("grid", 4)
+
+    def test_cached_topology_returns_shared_instance(self):
+        a = cached_topology("heavyhex", 2)
+        b = cached_topology("heavy-hex", 2)
+        assert a is b
+        assert a.num_qubits == 10
+
+    def test_cached_topology_returns_none_on_bad_architecture(self):
+        assert cached_topology("sycamore", 9) is None  # odd size is invalid
+
+    def test_injected_topology_used_by_run_cell(self):
+        topo = cached_topology("grid", 3)
+        res = run_cell("sabre", "grid", 3, topology=topo)
+        assert res.ok
+        assert res.num_qubits == 9
+
+    def test_chunk_crash_preserves_finished_results(self, tmp_path):
+        # A caller bug (unknown approach) must still raise, but cells that
+        # finished before it -- in the same chunk or other chunks -- must
+        # have been recorded in the cache, not discarded with the chunk.
+        cache = ResultCache(tmp_path)
+        specs = [
+            CellSpec.make("sabre", "grid", 2, seed=0),
+            CellSpec.make("magic", "grid", 2),
+            CellSpec.make("sabre", "grid", 2, seed=2),
+        ]
+        with pytest.raises(ValueError):
+            run_cells(specs, jobs=2, cache=cache)
+        assert len(cache) == 2
+
+
+class TestCellTimeout:
+    def test_satmap_cell_times_out_via_harness_budget(self):
+        # 4x4 Sycamore is far beyond the exact search's reach: without a
+        # budget this cell would run (effectively) forever.
+        specs = [CellSpec.make("satmap", "sycamore", 4, timeout_s=0.3)]
+        (res,) = run_cells(specs)
+        assert res.status == "timeout"
+        assert res.compile_time_s is not None
+
+    def test_budget_applies_to_any_approach(self):
+        res = run_cell("sabre", "lattice", 10, timeout_s=0.05)
+        assert res.status == "timeout"
+
+    def test_fast_cell_unaffected_by_generous_budget(self):
+        specs = [CellSpec.make("sabre", "grid", 2, timeout_s=120.0)]
+        (res,) = run_cells(specs)
+        assert res.ok and res.verified
+
+    def test_timeout_result_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [CellSpec.make("satmap", "sycamore", 4, timeout_s=0.2)]
+        (res,) = run_cells(specs, cache=cache)
+        assert res.status == "timeout"
+        assert len(cache) == 0
 
 
 class TestExperimentSpecs:

@@ -30,6 +30,16 @@ TOPOLOGIES = [
     pytest.param(lambda: LatticeSurgeryTopology(4), id="lattice4"),
 ]
 
+# Larger instances exercising the delta-scored fast path (and its opt-in
+# cross-iteration cache) where front layers, extended sets and candidate sets
+# interact non-trivially; gate-for-gate equivalence with the reference loop
+# is the contract that lets the eval harness treat the paths interchangeably.
+LARGE_TOPOLOGIES = [
+    pytest.param(lambda: GridTopology(5, 5), id="grid55"),
+    pytest.param(lambda: SycamoreTopology(6), id="sycamore6"),
+    pytest.param(lambda: CaterpillarTopology.regular_groups(5), id="heavyhex5"),
+]
+
 
 @pytest.mark.parametrize("make_topo", TOPOLOGIES)
 @pytest.mark.parametrize("seed", [0, 1, 7])
@@ -40,6 +50,39 @@ def test_vectorized_ops_bit_identical(make_topo, seed):
     assert vec.ops == ref.ops
     assert vec.depth() == ref.depth()
     assert vec.swap_count() == ref.swap_count()
+
+
+@pytest.mark.parametrize("make_topo", TOPOLOGIES + LARGE_TOPOLOGIES)
+@pytest.mark.parametrize("seed", [0, 5])
+def test_incremental_scorer_bit_identical(make_topo, seed):
+    topo = make_topo()
+    ref = SabreMapper(topo, seed=seed, vectorized=False).map_qft(topo.num_qubits)
+    inc = SabreMapper(topo, seed=seed, incremental=True).map_qft(topo.num_qubits)
+    assert inc.ops == ref.ops
+    assert inc.depth() == ref.depth()
+    assert inc.swap_count() == ref.swap_count()
+
+
+@pytest.mark.parametrize("make_topo", LARGE_TOPOLOGIES)
+@pytest.mark.parametrize("seed", [1, 7])
+def test_default_fast_path_bit_identical_on_larger_instances(make_topo, seed):
+    topo = make_topo()
+    ref = SabreMapper(topo, seed=seed, vectorized=False).map_qft(topo.num_qubits)
+    vec = SabreMapper(topo, seed=seed).map_qft(topo.num_qubits)
+    assert vec.ops == ref.ops
+
+
+def test_sabre_tables_shared_across_mapper_instances():
+    from repro.baselines.sabre import sabre_tables_for
+
+    topo_a = GridTopology(4, 4)
+    topo_b = GridTopology(4, 4)  # same coupling graph, different instance
+    assert sabre_tables_for(topo_a) is sabre_tables_for(topo_b)
+    adj, edge_list, edge_arr, edge_bits = sabre_tables_for(topo_a)
+    assert not adj.flags.writeable
+    assert not edge_bits.flags.writeable
+    assert edge_list == sorted(topo_a.edge_set)
+    assert sabre_tables_for(GridTopology(4, 5)) is not sabre_tables_for(topo_a)
 
 
 def test_vectorized_output_is_a_valid_qft():
