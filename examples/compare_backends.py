@@ -2,14 +2,20 @@
 """Compare the domain-specific mapper against SABRE across backends.
 
 A miniature version of the paper's Table 1 / Figures 17-19, at sizes that run
-in well under a minute.  For the full sweeps use
+in well under a minute, driven entirely through `repro.compile()`.  For the
+full sweeps use
 
-    python -m repro.eval.experiments --all [--profile paper]
+    python -m repro.eval --experiment all [--profile paper]
+
+and for the registry cross-product on any workload
+
+    python -m repro.eval --workload qaoa
 
 Run with:  python examples/compare_backends.py
 """
 
-from repro.eval import format_results, run_cell
+import repro
+from repro.eval import format_results
 
 
 def main() -> None:
@@ -22,8 +28,11 @@ def main() -> None:
     ]
     results = []
     for kind, size in cells:
-        results.append(run_cell("ours", kind, size))
-        results.append(run_cell("sabre", kind, size))
+        for approach in ("ours", "sabre"):
+            result = repro.compile(
+                workload="qft", architecture=kind, size=size, approach=approach
+            )
+            results.append(result.metrics())
     print(format_results(results))
 
     print("\nSummary (ours vs SABRE):")

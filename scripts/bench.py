@@ -50,6 +50,7 @@ def _git(*args: str) -> str:
 
 def _cell_record(spec: CellSpec, result) -> dict:
     return {
+        "workload": spec.workload,
         "approach": result.approach,
         "kind": spec.kind,
         "size": spec.size,
@@ -87,10 +88,19 @@ def _suite(smoke: bool) -> list:
             CellSpec.make("sabre", "lattice", m, max_qubits=prof.sabre_max_qubits)
         )
 
+    # New-workload cells (registry-driven): fixed sizes in both modes so the
+    # numbers stay comparable across commits.
+    workloads = [
+        CellSpec.make("sabre", "grid", 5, workload="qaoa"),
+        CellSpec.make("sabre", "grid", 5, workload="random"),
+        CellSpec.make("greedy", "grid", 5, workload="qaoa"),
+    ]
+
     return [
         ("micro-qft-grid", micro),
         ("fig17-smoke", fig17),
         ("fig19-smoke", fig19),
+        ("workloads-smoke", workloads),
     ]
 
 

@@ -13,6 +13,25 @@ echo "=== tier-1: pytest from the repo root ==="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
 
 echo
+echo "=== examples smoke: the new repro.compile() API end to end ==="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python examples/quickstart.py > /dev/null
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python examples/compare_backends.py > /dev/null
+echo "examples ok"
+
+echo
+echo "=== workload smoke: --workload qaoa registry cross-product sweep ==="
+# Short SATMAP budget: its cells time out (typed) instead of eating 20s each.
+sweep_out=$(REPRO_SATMAP_TIMEOUT_S=2 \
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.eval --workload qaoa)
+echo "$sweep_out" | tail -3
+# Every cell must come back typed: ok / unsupported / timeout -- no crashes,
+# and at least one approach must actually compile QAOA per architecture.
+echo "$sweep_out" | grep -Eq "qaoa .* sabre .* ok " || {
+    echo "ci.sh: FAIL — no ok sabre qaoa cell in the sweep" >&2
+    exit 1
+}
+
+echo
 echo "=== eval smoke: fig27 seed sweep through the parallel harness ==="
 cache_dir=$(mktemp -d)
 trap 'rm -rf "$cache_dir"' EXIT

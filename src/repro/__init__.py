@@ -4,12 +4,24 @@ Architectures" (SC 2024).
 Public API highlights
 ---------------------
 
+The entry point (:mod:`repro.compile_api`):
+    ``repro.compile(workload="qft", architecture="grid", size=9,
+    approach="ours")`` -- one registry-driven call covering every workload,
+    architecture and approach; returns a ``CompileResult`` bundling the
+    mapped circuit, metrics, verification outcome and wall-clock.
+
+Registries (:mod:`repro.workloads`, :mod:`repro.approaches`,
+:mod:`repro.arch.registry`):
+    ``register_workload`` / ``register_approach`` / ``register_architecture``
+    plug new circuit families, mappers and backends into every consumer
+    (``repro.compile``, the evaluation harness, the CLI) at once.
+
 Architectures (:mod:`repro.arch`):
     ``LNNTopology``, ``GridTopology``, ``SycamoreTopology``,
     ``CaterpillarTopology`` / ``HeavyHexTopology``, ``LatticeSurgeryTopology``.
 
 Compilation (:mod:`repro.core`):
-    ``compile_qft(topology)`` -- the one-call domain-specific mapper facade,
+    ``compile_qft(topology)`` -- thin QFT shim over ``repro.compile``,
     plus the individual mappers (``LNNQFTMapper``, ``HeavyHexQFTMapper``,
     ``SycamoreQFTMapper``, ``LatticeSurgeryQFTMapper``, ``GridQFTMapper``).
 
@@ -18,7 +30,8 @@ Baselines (:mod:`repro.baselines`):
     branch-and-bound stand-in for SATMAP), ``LNNPathMapper``.
 
 Verification (:mod:`repro.verify`):
-    ``verify_mapped_qft(mapped)`` -- structural + statevector checks.
+    ``verify_mapped_qft(mapped)`` -- structural + statevector checks; each
+    workload also carries its own ``verify`` path.
 
 Evaluation (:mod:`repro.eval`):
     experiment runners regenerating Table 1 and Figures 17-19/27.
@@ -58,8 +71,36 @@ from .core import (
     mapper_for,
 )
 from .verify import verify_mapped_qft
+from .registry import (
+    DuplicateRegistrationError,
+    Registry,
+    UnknownNameError,
+    UnsupportedWorkload,
+)
+from .arch import (
+    architecture_key,
+    architecture_label,
+    architecture_names,
+    make_architecture,
+    register_architecture,
+)
+from .workloads import (
+    VerifyResult,
+    Workload,
+    get_workload,
+    register_workload,
+    workload_names,
+)
+from .approaches import (
+    ApproachEntry,
+    approach_names,
+    get_approach,
+    make_mapper,
+    register_approach,
+)
+from .compile_api import CompileResult, compile
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "CaterpillarTopology",
@@ -90,5 +131,26 @@ __all__ = [
     "compile_qft",
     "mapper_for",
     "verify_mapped_qft",
+    "Registry",
+    "UnknownNameError",
+    "DuplicateRegistrationError",
+    "UnsupportedWorkload",
+    "architecture_key",
+    "architecture_label",
+    "architecture_names",
+    "make_architecture",
+    "register_architecture",
+    "VerifyResult",
+    "Workload",
+    "get_workload",
+    "register_workload",
+    "workload_names",
+    "ApproachEntry",
+    "approach_names",
+    "get_approach",
+    "make_mapper",
+    "register_approach",
+    "CompileResult",
+    "compile",
     "__version__",
 ]

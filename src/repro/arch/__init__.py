@@ -6,6 +6,15 @@ from .grid import GridTopology, TwoRowTopology
 from .sycamore import SycamoreTopology
 from .heavy_hex import CaterpillarTopology, HeavyHexTopology
 from .lattice_surgery import LatticeSurgeryTopology
+from .registry import (
+    ARCHITECTURES,
+    ArchitectureEntry,
+    architecture_key,
+    architecture_label,
+    architecture_names,
+    make_architecture,
+    register_architecture,
+)
 
 __all__ = [
     "Topology",
@@ -17,4 +26,11 @@ __all__ = [
     "CaterpillarTopology",
     "HeavyHexTopology",
     "LatticeSurgeryTopology",
+    "ARCHITECTURES",
+    "ArchitectureEntry",
+    "architecture_key",
+    "architecture_label",
+    "architecture_names",
+    "make_architecture",
+    "register_architecture",
 ]

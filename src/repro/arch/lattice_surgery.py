@@ -21,9 +21,11 @@ our evaluation harness reproduces that choice.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..circuit.gates import GateKind, Op
+import numpy as np
+
+from ..circuit.gates import KIND_CODES, GateKind, Op
 from .topology import Topology
 
 __all__ = ["LatticeSurgeryTopology"]
@@ -122,3 +124,25 @@ class LatticeSurgeryTopology(Topology):
             return self.FAST_SWAP_LATENCY if self.is_fast_link(a, b) else self.SLOW_SWAP_LATENCY
         # CNOT / CPHASE cost the same on every link
         return self.CNOT_LATENCY
+
+    def op_latency_array(
+        self, kinds: np.ndarray, q0: np.ndarray, q1: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Vectorized :meth:`op_latency` over a packed op stream.
+
+        Fast-link detection reduces to a same-row test (intra-row links are
+        the fast ones), which vectorizes as an integer division; the op
+        stream is adjacency-checked by the builder, so every SWAP pair here
+        is a real link.
+        """
+
+        lat = np.full(len(kinds), self.CNOT_LATENCY, dtype=np.int64)
+        single = (kinds == KIND_CODES[GateKind.H]) | (kinds == KIND_CODES[GateKind.RZ])
+        lat[single] = self.SINGLE_QUBIT_LATENCY
+        lat[kinds == KIND_CODES[GateKind.BARRIER]] = 0
+        swap = kinds == KIND_CODES[GateKind.SWAP]
+        if swap.any():
+            fast = swap & ((q0 // self.cols) == (q1 // self.cols))
+            lat[fast] = self.FAST_SWAP_LATENCY
+            lat[swap & ~fast] = self.SLOW_SWAP_LATENCY
+        return lat

@@ -1,0 +1,141 @@
+"""The architecture registry: names, synonyms, factories, labels.
+
+Architectures are addressed the way the paper's Table 1 does -- by a kind
+name and one size parameter:
+
+* ``sycamore`` with parameter ``m``        -> ``m x m`` patch, ``N = m^2``,
+* ``heavyhex`` with parameter ``groups``   -> ``5 * groups`` qubits
+  (four per group on the main line, one dangling),
+* ``lattice`` with parameter ``m``         -> ``m x m`` FT grid, ``N = m^2``,
+* ``grid`` with parameter ``m``            -> ``m x m`` uniform-latency grid,
+* ``lnn`` with parameter ``n``             -> a line of ``n`` qubits.
+
+Every consumer (``repro.compile``, the evaluation harness, the CLI) resolves
+kind spellings through this one table, so a synonym added here is
+immediately legal everywhere.  New backends register with::
+
+    @register_architecture("torus", synonyms=("donut",), label="Torus {size}")
+    def _torus(size: int) -> Topology:
+        return TorusTopology(size)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Tuple
+
+from ..registry import Registry
+from .grid import GridTopology
+from .heavy_hex import CaterpillarTopology
+from .lattice_surgery import LatticeSurgeryTopology
+from .lnn import LNNTopology
+from .sycamore import SycamoreTopology
+from .topology import Topology
+
+__all__ = [
+    "ARCHITECTURES",
+    "ArchitectureEntry",
+    "register_architecture",
+    "make_architecture",
+    "architecture_key",
+    "architecture_label",
+    "architecture_names",
+]
+
+
+@dataclass(frozen=True)
+class ArchitectureEntry:
+    """One registered architecture kind."""
+
+    name: str
+    factory: Callable[[int], Topology]
+    #: paper-style label template over ``{kind}`` and ``{size}``
+    label: str
+
+
+#: the process-wide architecture registry
+ARCHITECTURES: Registry[ArchitectureEntry] = Registry("architecture kind")
+
+
+def register_architecture(
+    name: str, *, synonyms: Iterable[str] = (), label: str = "{kind} {size}"
+) -> Callable[[Callable[[int], Topology]], Callable[[int], Topology]]:
+    """Decorator registering ``factory(size) -> Topology`` under ``name``."""
+
+    def _register(factory: Callable[[int], Topology]) -> Callable[[int], Topology]:
+        ARCHITECTURES.register(
+            name, ArchitectureEntry(name, factory, label), synonyms=synonyms
+        )
+        return factory
+
+    return _register
+
+
+def make_architecture(kind: str, size: int) -> Topology:
+    """Instantiate an architecture by kind and its paper-style size parameter."""
+
+    return ARCHITECTURES.get(kind).factory(size)
+
+
+def architecture_key(kind: str, size: int) -> Tuple[str, int]:
+    """Stable identity of the architecture instance ``(canonical kind, size)``.
+
+    Synonymous kind spellings (``heavyhex`` / ``heavy-hex`` / ``caterpillar``,
+    ...) map to the same key, so the parallel harness can group cells that
+    share a topology and build it once per worker.  Unknown kinds get their
+    lower-cased spelling as the canonical name (the factory raises later,
+    per-cell).
+    """
+
+    canon = ARCHITECTURES.canonical_or_none(kind)
+    return (canon if canon is not None else kind.lower(), size)
+
+
+def architecture_label(kind: str, size: int) -> str:
+    """Paper-style label of the instance (e.g. ``"6*6 Sycamore"``)."""
+
+    canon = ARCHITECTURES.canonical_or_none(kind)
+    template = ARCHITECTURES.get(canon).label if canon is not None else "{kind} {size}"
+    return template.format(kind=kind.lower(), size=size)
+
+
+def architecture_names() -> Tuple[str, ...]:
+    """Canonical names of every registered architecture kind."""
+
+    return ARCHITECTURES.names()
+
+
+# ---------------------------------------------------------------------------
+# Built-in backends (the paper's Table 1 set)
+# ---------------------------------------------------------------------------
+
+
+@register_architecture("sycamore", label="{size}*{size} Sycamore")
+def _sycamore(size: int) -> Topology:
+    return SycamoreTopology(size)
+
+
+@register_architecture(
+    "heavyhex", synonyms=("heavy-hex", "caterpillar"), label="Heavy-hex {size}*5"
+)
+def _heavyhex(size: int) -> Topology:
+    return CaterpillarTopology.regular_groups(size)
+
+
+@register_architecture(
+    "lattice",
+    synonyms=("lattice-surgery", "ft"),
+    label="Lattice surgery {size}*{size}",
+)
+def _lattice(size: int) -> Topology:
+    return LatticeSurgeryTopology(size)
+
+
+@register_architecture("grid", label="Grid {size}*{size}")
+def _grid(size: int) -> Topology:
+    return GridTopology(size, size)
+
+
+@register_architecture("lnn", synonyms=("line",), label="{kind} {size}")
+def _lnn(size: int) -> Topology:
+    return LNNTopology(size)

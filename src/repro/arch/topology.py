@@ -195,6 +195,24 @@ class Topology:
 
         return 1
 
+    def op_latency_array(
+        self, kinds: np.ndarray, q0: np.ndarray, q1: np.ndarray
+    ) -> Optional[np.ndarray]:
+        """Vectorized latency of a packed op stream, or None.
+
+        ``kinds`` holds :data:`~repro.circuit.gates.KIND_CODES` codes; ``q0``
+        / ``q1`` the physical operands (``-1`` where absent).  Subclasses
+        with a custom cost model override this alongside :meth:`op_latency`
+        (they must agree op-for-op); a subclass that overrides only the
+        scalar method gets ``None`` here, telling the vectorized metric
+        extraction to fall back to the scalar path rather than silently
+        using the wrong cost model.
+        """
+
+        if type(self).op_latency is not Topology.op_latency:
+            return None
+        return np.ones(len(kinds), dtype=np.int64)
+
     def swap_latency(self, a: int, b: int) -> int:
         return self.op_latency(Op(GateKind.SWAP, (a, b), (-1, -1)))
 

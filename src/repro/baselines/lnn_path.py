@@ -19,11 +19,12 @@ from typing import List, Optional
 from ..arch.topology import Topology
 from ..circuit.schedule import MappedCircuit
 from ..core.lnn_mapper import map_qft_on_line
+from ..core.qft_specialist import QFTSpecialistMixin
 
 __all__ = ["LNNPathMapper"]
 
 
-class LNNPathMapper:
+class LNNPathMapper(QFTSpecialistMixin):
     """QFT via the LNN solution along a Hamiltonian (serpentine) path."""
 
     name = "lnn-path"
@@ -34,6 +35,9 @@ class LNNPathMapper:
             self.path = list(path)
         elif hasattr(topology, "serpentine_order"):
             self.path = list(topology.serpentine_order())
+        elif hasattr(topology, "line_order"):
+            # an LNN line is its own (trivial) Hamiltonian path
+            self.path = list(topology.line_order())
         else:
             raise ValueError(
                 f"no Hamiltonian path known for {topology.name}; "

@@ -46,6 +46,7 @@ __all__ = [
     "qft_angle",
     "TWO_QUBIT_KINDS",
     "SINGLE_QUBIT_KINDS",
+    "KIND_CODES",
 ]
 
 
@@ -67,6 +68,17 @@ class GateKind:
 
 SINGLE_QUBIT_KINDS = frozenset({GateKind.H, GateKind.RZ})
 TWO_QUBIT_KINDS = frozenset({GateKind.CPHASE, GateKind.SWAP, GateKind.CNOT})
+
+#: stable small-int codes for packing op streams into numpy arrays (used by
+#: the vectorized metric extraction and the topologies' latency models)
+KIND_CODES = {
+    GateKind.H: 0,
+    GateKind.RZ: 1,
+    GateKind.CPHASE: 2,
+    GateKind.CNOT: 3,
+    GateKind.SWAP: 4,
+    GateKind.BARRIER: 5,
+}
 
 
 def qft_angle(i: int, j: int) -> float:

@@ -25,16 +25,18 @@ unitarily equivalent to the textbook circuit) and by the
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from .circuit import Circuit
-from .gates import CPHASE, H, qft_angle
+from .gates import CPHASE, H, GateKind, qft_angle
 
 __all__ = [
     "qft_circuit",
     "qft_pair_list",
     "qft_interaction_count",
+    "textbook_qft_qubit_count",
     "PartitionRange",
     "qft_partitioned",
     "qft_ie_gates",
@@ -80,6 +82,41 @@ def qft_interaction_count(n: int) -> int:
     """Number of CPHASE gates in an ``n``-qubit QFT."""
 
     return n * (n - 1) // 2
+
+
+def textbook_qft_qubit_count(circuit: Circuit) -> Optional[int]:
+    """Recognise the textbook QFT circuit; return its qubit count or None.
+
+    This is the guard of the QFT-specialist mappers' uniform ``map_circuit``
+    surface: a circuit that is gate-for-gate the output of
+    :func:`qft_circuit` (same order, same pairs, same angles, no final SWAP
+    layer) is compiled through the analytic construction; anything else
+    makes the specialist raise
+    :class:`~repro.registry.UnsupportedWorkload`.  The scan is O(#gates)
+    and allocation-free, so guarding a 1024-qubit compile costs far less
+    than the mapping itself.
+    """
+
+    n = circuit.num_qubits
+    if len(circuit.gates) != n + n * (n - 1) // 2:
+        return None
+    gates = circuit.gates
+    pos = 0
+    for i in range(n):
+        g = gates[pos]
+        pos += 1
+        if g.kind != GateKind.H or g.qubits != (i,):
+            return None
+        for j in range(i + 1, n):
+            g = gates[pos]
+            pos += 1
+            if g.kind != GateKind.CPHASE or g.qubits != (i, j):
+                return None
+            if g.angle is None or not math.isclose(
+                g.angle, qft_angle(i, j), rel_tol=0.0, abs_tol=1e-12
+            ):
+                return None
+    return n
 
 
 # ---------------------------------------------------------------------------

@@ -32,11 +32,12 @@ from ..circuit.gates import Op, qft_angle
 from ..circuit.schedule import MappedCircuit, MappingBuilder
 from .dependence import QFTDependenceTracker
 from .routed import complete_remaining
+from .qft_specialist import QFTSpecialistMixin
 
 __all__ = ["HeavyHexQFTMapper"]
 
 
-class HeavyHexQFTMapper:
+class HeavyHexQFTMapper(QFTSpecialistMixin):
     """Dangling-point QFT mapper for caterpillar / heavy-hex topologies."""
 
     name = "our-heavyhex"

@@ -34,11 +34,12 @@ from .dependence import QFTDependenceTracker
 from .inter_unit import bipartite_all_to_all
 from .routed import complete_remaining, finish_hadamards
 from .unit import UnitLevelScheduler
+from .qft_specialist import QFTSpecialistMixin
 
 __all__ = ["RowUnitQFTMapper", "LatticeSurgeryQFTMapper", "GridQFTMapper"]
 
 
-class RowUnitQFTMapper:
+class RowUnitQFTMapper(QFTSpecialistMixin):
     """Row-unit QFT mapper shared by the FT grid and the regular 2-D grid."""
 
     name = "our-row-unit"

@@ -19,6 +19,7 @@ from ..arch.topology import Topology
 from ..circuit.schedule import MappedCircuit, MappingBuilder
 from .cascade import cascade_on_line
 from .dependence import QFTDependenceTracker
+from .qft_specialist import QFTSpecialistMixin
 
 __all__ = ["LNNQFTMapper", "map_qft_on_line"]
 
@@ -48,7 +49,7 @@ def map_qft_on_line(
     return builder.build(metadata={"mapper": name, **stats})
 
 
-class LNNQFTMapper:
+class LNNQFTMapper(QFTSpecialistMixin):
     """QFT mapper for :class:`~repro.arch.lnn.LNNTopology` (or any explicit line)."""
 
     name = "our-lnn"

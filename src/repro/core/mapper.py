@@ -1,15 +1,20 @@
 """Facade: pick the right domain-specific QFT mapper for a topology.
 
-``compile_qft(topology)`` is the one-call public entry point used by the
-examples, the evaluation harness and most tests.  It dispatches on the
-architecture type (exactly as the paper's framework does -- the construction
-differs per backend but the interface is uniform) and returns a verified-by
--construction :class:`~repro.circuit.schedule.MappedCircuit`.
+Dispatch is registry-driven: each topology class registers its specialist
+mapper factory with :func:`register_specialist`, and :func:`mapper_for`
+resolves an instance by walking the topology's MRO (most specific class
+wins) -- exactly the uniform-interface-over-per-backend-constructions story
+of the paper, with no ``isinstance`` chain to keep in sync.  Topologies with
+no registered specialist fall back to the naive-but-correct
+:class:`~repro.core.routed.GreedyRouterMapper`.
+
+``compile_qft(topology)`` survives as a thin shim over the registry-driven
+:func:`repro.compile` entry point for existing callers.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Dict, Optional, Type
 
 from ..arch.grid import GridTopology
 from ..arch.heavy_hex import CaterpillarTopology, HeavyHexTopology
@@ -18,30 +23,76 @@ from ..arch.lnn import LNNTopology
 from ..arch.sycamore import SycamoreTopology
 from ..arch.topology import Topology
 from ..circuit.schedule import MappedCircuit
+from ..registry import DuplicateRegistrationError
 from .heavy_hex_mapper import HeavyHexQFTMapper
 from .lattice_surgery_mapper import GridQFTMapper, LatticeSurgeryQFTMapper
 from .lnn_mapper import LNNQFTMapper
 from .routed import GreedyRouterMapper
 from .sycamore_mapper import SycamoreQFTMapper
 
-__all__ = ["compile_qft", "mapper_for"]
+__all__ = ["compile_qft", "mapper_for", "register_specialist"]
+
+#: topology class -> factory(topology, strict_ie) for its specialist mapper
+_SPECIALISTS: Dict[Type[Topology], Callable[[Topology, bool], object]] = {}
+
+
+def register_specialist(*topology_types: Type[Topology]):
+    """Register a specialist mapper factory for the given topology classes.
+
+    The factory is called as ``factory(topology, strict_ie)`` and must
+    return a mapper exposing the uniform ``map_circuit`` surface (the QFT
+    specialists get it from
+    :class:`~repro.core.qft_specialist.QFTSpecialistMixin`).  Subclasses of
+    a registered topology inherit its specialist unless they register their
+    own (MRO lookup, most specific first).
+    """
+
+    def _register(factory: Callable[[Topology, bool], object]):
+        for cls in topology_types:
+            if cls in _SPECIALISTS:
+                raise DuplicateRegistrationError(
+                    f"topology class {cls.__name__} already has a specialist mapper"
+                )
+            _SPECIALISTS[cls] = factory
+        return factory
+
+    return _register
 
 
 def mapper_for(topology: Topology, *, strict_ie: bool = False):
     """Return the domain-specific mapper instance for ``topology``."""
 
-    if isinstance(topology, LNNTopology):
-        return LNNQFTMapper(topology)
-    if isinstance(topology, (CaterpillarTopology, HeavyHexTopology)):
-        return HeavyHexQFTMapper(topology)
-    if isinstance(topology, SycamoreTopology):
-        return SycamoreQFTMapper(topology, strict_ie=strict_ie)
-    if isinstance(topology, LatticeSurgeryTopology):
-        return LatticeSurgeryQFTMapper(topology, strict_ie=strict_ie)
-    if isinstance(topology, GridTopology):
-        return GridQFTMapper(topology, strict_ie=strict_ie)
+    for cls in type(topology).__mro__:
+        factory = _SPECIALISTS.get(cls)
+        if factory is not None:
+            return factory(topology, strict_ie)
     # Unknown architecture: fall back to the naive-but-correct router.
     return GreedyRouterMapper(topology)
+
+
+@register_specialist(LNNTopology)
+def _lnn_specialist(topology: Topology, strict_ie: bool):
+    return LNNQFTMapper(topology)
+
+
+@register_specialist(CaterpillarTopology, HeavyHexTopology)
+def _heavy_hex_specialist(topology: Topology, strict_ie: bool):
+    return HeavyHexQFTMapper(topology)
+
+
+@register_specialist(SycamoreTopology)
+def _sycamore_specialist(topology: Topology, strict_ie: bool):
+    return SycamoreQFTMapper(topology, strict_ie=strict_ie)
+
+
+@register_specialist(LatticeSurgeryTopology)
+def _lattice_specialist(topology: Topology, strict_ie: bool):
+    return LatticeSurgeryQFTMapper(topology, strict_ie=strict_ie)
+
+
+@register_specialist(GridTopology)
+def _grid_specialist(topology: Topology, strict_ie: bool):
+    return GridQFTMapper(topology, strict_ie=strict_ie)
 
 
 def compile_qft(
@@ -52,10 +103,28 @@ def compile_qft(
 ) -> MappedCircuit:
     """Compile an ``n``-qubit QFT kernel for ``topology``.
 
+    .. deprecated::
+        ``compile_qft`` is kept as a thin shim over the registry-driven
+        :func:`repro.compile` entry point (``repro.compile(workload="qft",
+        architecture=topology, approach="ours")``), which also exposes the
+        other workloads, approaches and result metadata.  New code should
+        call :func:`repro.compile`.
+
     ``num_qubits`` defaults to the full device size (the paper always maps a
     QFT as large as the patch).  ``strict_ie=True`` selects the QFT-IE-strict
     inter-unit schedules, kept only for the relaxed-vs-strict ablation.
     """
 
-    mapper = mapper_for(topology, strict_ie=strict_ie)
-    return mapper.map_qft(num_qubits)
+    from ..compile_api import compile as _compile
+
+    result = _compile(
+        workload="qft",
+        architecture=topology,
+        approach="ours",
+        num_qubits=num_qubits,
+        verify=False,
+        strict_ie=strict_ie,
+    )
+    if result.mapped is None:  # pragma: no cover - "ours" always supports QFT
+        raise RuntimeError(f"QFT compilation failed: {result.status} {result.message}")
+    return result.mapped

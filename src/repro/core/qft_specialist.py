@@ -1,0 +1,34 @@
+"""Uniform ``map_circuit`` surface for the analytic QFT-specialist mappers.
+
+The domain-specific mappers of Sections 4-6 never route a gate list: they
+*construct* the mapped kernel directly from the QFT's regular structure.
+:class:`QFTSpecialistMixin` gives them the same ``map_circuit(circuit)``
+surface every generic mapper has, by recognising the textbook QFT (a cheap
+O(#gates) scan) and dispatching to the analytic ``map_qft`` construction;
+anything else raises the typed
+:class:`~repro.registry.UnsupportedWorkload`, which the evaluation harness
+records as a ``status == "unsupported"`` cell instead of crashing a sweep.
+"""
+
+from __future__ import annotations
+
+from ..circuit.circuit import Circuit
+from ..circuit.qft import textbook_qft_qubit_count
+from ..circuit.schedule import MappedCircuit
+from ..registry import UnsupportedWorkload
+
+__all__ = ["QFTSpecialistMixin"]
+
+
+class QFTSpecialistMixin:
+    """Adds ``map_circuit`` to mappers that only implement ``map_qft``."""
+
+    def map_circuit(self, circuit: Circuit) -> MappedCircuit:
+        n = textbook_qft_qubit_count(circuit)
+        if n is None:
+            name = getattr(self, "name", type(self).__name__)
+            raise UnsupportedWorkload(
+                f"{name} is a QFT-specialist mapper (analytic construction); "
+                f"it cannot compile {circuit.name or 'this circuit'!r}"
+            )
+        return self.map_qft(n)

@@ -22,7 +22,9 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..arch.topology import Topology
-from ..circuit.gates import qft_angle
+from ..circuit.circuit import Circuit
+from ..circuit.gates import GateKind, qft_angle
+from ..circuit.qft import qft_circuit
 from ..circuit.schedule import MappedCircuit, MappingBuilder
 from .dependence import QFTDependenceTracker
 
@@ -128,11 +130,14 @@ def finish_hadamards(
 
 
 class GreedyRouterMapper:
-    """Naive baseline: map QFT by routing every interaction on demand.
+    """Naive baseline: map any circuit by routing every interaction on demand.
 
-    The textbook gate order is followed (strict Type I + II), each CPHASE is
-    enabled by SWAPping its first qubit along a shortest path.  Initial layout
-    is the identity (logical i on physical i) unless given.
+    Gates are executed in program order, each two-qubit gate enabled by
+    SWAPping its first qubit along a shortest path.  Initial layout is the
+    identity (logical i on physical i) unless given.  For the QFT this
+    reproduces the classic strict Type I + II routing baseline (the textbook
+    circuit *is* its program order), but the router is workload-agnostic:
+    it is the approach of last resort for any circuit on any topology.
     """
 
     name = "greedy-router"
@@ -143,16 +148,40 @@ class GreedyRouterMapper:
 
     def map_qft(self, num_qubits: Optional[int] = None) -> MappedCircuit:
         n = num_qubits if num_qubits is not None else self.topology.num_qubits
+        return self.map_circuit(qft_circuit(n))
+
+    def map_circuit(self, circuit: Circuit) -> MappedCircuit:
+        from ..registry import UnsupportedWorkload
+
+        n = circuit.num_qubits
         if n > self.topology.num_qubits:
             raise ValueError("more logical qubits than physical qubits")
         layout = self.initial_layout if self.initial_layout is not None else list(range(n))
         builder = MappingBuilder(self.topology, layout, num_logical=n, name=self.name)
-        tracker = QFTDependenceTracker(n)
-        for i in range(n):
-            builder.h(builder.phys_of(i), tag="routed")
-            tracker.mark_h(i)
-            for j in range(i + 1, n):
-                pa, pb = _route_adjacent(builder, builder.phys_of(i), builder.phys_of(j), "routed")
-                builder.cphase(pa, pb, qft_angle(i, j), tag="routed")
-                tracker.mark_cphase(i, j)
+        for gate in circuit.gates:
+            if gate.kind == GateKind.H:
+                builder.h(builder.phys_of(gate.qubits[0]), tag="routed")
+            elif gate.kind == GateKind.RZ:
+                builder.rz(builder.phys_of(gate.qubits[0]), gate.angle, tag="routed")
+            elif gate.kind == GateKind.SWAP:
+                # A program-level SWAP cannot be told apart from a routing
+                # SWAP in the mapped stream (verification replays treat every
+                # SWAP as data movement), so compiling it silently would
+                # yield a circuit that drops the gate.  Workloads express
+                # permutations through relabelling instead.
+                raise UnsupportedWorkload(
+                    f"{self.name} cannot compile program-level SWAP gates; "
+                    "express the permutation as a relabelling"
+                )
+            elif gate.is_two_qubit:
+                a, b = gate.qubits
+                pa, pb = _route_adjacent(
+                    builder, builder.phys_of(a), builder.phys_of(b), "routed"
+                )
+                if gate.kind == GateKind.CPHASE:
+                    builder.cphase(pa, pb, gate.angle, tag="routed")
+                else:
+                    builder.cnot(pa, pb, tag="routed")
+            else:
+                raise ValueError(f"unsupported gate kind {gate.kind!r}")
         return builder.build(metadata={"mapper": self.name})

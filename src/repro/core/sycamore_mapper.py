@@ -26,11 +26,12 @@ from .dependence import QFTDependenceTracker
 from .inter_unit import bipartite_all_to_all
 from .routed import complete_remaining, finish_hadamards
 from .unit import UnitLevelScheduler
+from .qft_specialist import QFTSpecialistMixin
 
 __all__ = ["SycamoreQFTMapper"]
 
 
-class SycamoreQFTMapper:
+class SycamoreQFTMapper(QFTSpecialistMixin):
     """Unit-based QFT mapper for :class:`~repro.arch.sycamore.SycamoreTopology`."""
 
     name = "our-sycamore"

@@ -17,6 +17,7 @@ from .experiments import (
     experiment_partition_ablation,
     experiment_relaxed_vs_strict,
     experiment_table1,
+    experiment_workload_sweep,
     run_all,
 )
 
@@ -45,5 +46,6 @@ __all__ = [
     "experiment_partition_ablation",
     "experiment_relaxed_vs_strict",
     "experiment_table1",
+    "experiment_workload_sweep",
     "run_all",
 ]

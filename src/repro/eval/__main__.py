@@ -4,8 +4,11 @@ Equivalent to ``python -m repro.eval.experiments``; see that module for the
 available experiments and profiles.  Useful flags::
 
     -e/--experiment NAME   one of table1, fig17..fig19, fig27, relaxed,
-                           partition, linearity, or "all"
+                           partition, linearity, sweep, or "all"
     --profile quick|paper  instance sizes
+    --workload NAME        workload for the registry cross-product "sweep"
+                           experiment (qft, qaoa, random, or any plugin);
+                           implies -e sweep when no experiment is given
     --jobs N               fan evaluation cells out over N worker processes;
                            cells sharing a topology are grouped into chunks
                            so each worker builds the topology, distance

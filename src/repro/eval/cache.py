@@ -76,6 +76,8 @@ class ResultCache:
         kwargs: Iterable[Tuple[str, object]] = (),
         rename: Optional[str] = None,
         timeout_s: Optional[float] = None,
+        workload: str = "qft",
+        workload_params: Iterable[Tuple[str, object]] = (),
     ) -> str:
         payload = json.dumps(
             {
@@ -85,6 +87,10 @@ class ResultCache:
                 "kwargs": sorted((str(k), repr(v)) for k, v in kwargs),
                 "rename": rename,
                 "timeout_s": timeout_s,
+                "workload": workload,
+                "workload_params": sorted(
+                    (str(k), repr(v)) for k, v in workload_params
+                ),
                 "code": self.version,
             },
             sort_keys=True,

@@ -32,6 +32,9 @@ import sys
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..approaches import approach_names
+from ..arch.registry import architecture_names
+from ..workloads import workload_names
 from .cache import ResultCache
 from .metrics import CompilationResult
 from .parallel import CellSpec, run_cells
@@ -49,6 +52,7 @@ __all__ = [
     "experiment_relaxed_vs_strict",
     "experiment_partition_ablation",
     "experiment_linearity",
+    "experiment_workload_sweep",
     "run_all",
     "main",
 ]
@@ -336,6 +340,61 @@ def experiment_linearity(
 
 
 # ---------------------------------------------------------------------------
+# E10: registry cross-product sweep (any workload)
+# ---------------------------------------------------------------------------
+
+# Per-architecture sizes for the sweep profiles (paper-style size parameter).
+_SWEEP_SIZES = {
+    "quick": {"sycamore": 2, "heavyhex": 2, "lattice": 4, "grid": 3, "lnn": 9},
+    "paper": {"sycamore": 4, "heavyhex": 4, "lattice": 8, "grid": 5, "lnn": 25},
+}
+
+
+def specs_workload_sweep(
+    workload: str = "qft", profile: Profile = QUICK
+) -> List[CellSpec]:
+    """Every registered approach x every registered architecture, one size
+    each, for ``workload``.
+
+    Approaches that cannot compile the combination come back as typed
+    ``unsupported`` rows rather than crashing -- the sweep *is* the
+    cross-product acceptance check of the registry redesign.  Architectures
+    registered by plugins after this module loaded are swept at the quick
+    grid size.
+    """
+
+    sizes = _SWEEP_SIZES.get(profile.name, _SWEEP_SIZES["quick"])
+    specs: List[CellSpec] = []
+    for kind in architecture_names():
+        size = sizes.get(kind, _SWEEP_SIZES["quick"].get(kind, 3))
+        for approach in approach_names():
+            # No explicit max_qubits: each approach's registered default cap
+            # applies (e.g. SATMAP's), which is the point of the registry.
+            specs.append(
+                CellSpec.make(
+                    approach,
+                    kind,
+                    size,
+                    workload=workload,
+                    timeout_s=profile.satmap_timeout_s,
+                )
+            )
+    return specs
+
+
+def experiment_workload_sweep(
+    workload: str = "qft",
+    profile: Profile = QUICK,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[CompilationResult]:
+    """The full approach x architecture cross-product for one workload."""
+
+    return run_cells(specs_workload_sweep(workload, profile), jobs=jobs, cache=cache)
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -351,7 +410,13 @@ _EXPERIMENTS = {
     "relaxed": lambda prof, **kw: experiment_relaxed_vs_strict(**kw),
     "partition": lambda prof, **kw: experiment_partition_ablation(**kw),
     "linearity": lambda prof, **kw: experiment_linearity(prof, **kw),
+    "sweep": lambda prof, workload="qft", **kw: experiment_workload_sweep(
+        workload, prof, **kw
+    ),
 }
+
+#: experiments included in "-e all" (the paper set; "sweep" is on demand)
+_PAPER_EXPERIMENTS = tuple(n for n in _EXPERIMENTS if n != "sweep")
 
 
 def run_all(
@@ -361,8 +426,8 @@ def run_all(
     cache: Optional[ResultCache] = None,
 ) -> Dict[str, List[CompilationResult]]:
     return {
-        name: fn(profile, jobs=jobs, cache=cache)
-        for name, fn in _EXPERIMENTS.items()
+        name: _EXPERIMENTS[name](profile, jobs=jobs, cache=cache)
+        for name in _PAPER_EXPERIMENTS
     }
 
 
@@ -379,6 +444,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--profile", choices=("quick", "paper"), default="quick", help="size profile"
+    )
+    parser.add_argument(
+        "--workload",
+        default=None,
+        help="workload for the 'sweep' experiment (any registered name: "
+        f"{', '.join(workload_names())}, ...); implies -e sweep when no "
+        "experiment is selected",
     )
     parser.add_argument(
         "--jobs",
@@ -425,13 +497,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
         if not args.experiment:
             return 0
-    wanted = args.experiment or ["all"]
+    wanted = args.experiment or (["sweep"] if args.workload else ["all"])
     if "all" in wanted:
-        wanted = sorted(_EXPERIMENTS)
+        wanted = sorted(_PAPER_EXPERIMENTS)
+    if args.workload and any(name != "sweep" for name in wanted):
+        parser.error(
+            "--workload only applies to the 'sweep' experiment; the figure "
+            "experiments reproduce the paper's QFT results"
+        )
 
     for name in wanted:
         print(f"\n=== {name} (profile: {profile.name}) ===")
-        results = _EXPERIMENTS[name](profile, jobs=args.jobs, cache=cache)
+        extra = {"workload": args.workload or "qft"} if name == "sweep" else {}
+        results = _EXPERIMENTS[name](profile, jobs=args.jobs, cache=cache, **extra)
         print(format_results(results))
         if name in ("fig17", "fig18", "fig19"):
             print("\ndepth series:")

@@ -48,7 +48,10 @@ class CellSpec:
     for the Fig. 27 seed sweep.  ``timeout_s`` is the harness-enforced
     per-cell budget: :func:`run_cells` reports cells that exceed it as
     ``status == "timeout"`` results (the paper's TLE) instead of leaving
-    wall-clock checks to the approaches themselves.
+    wall-clock checks to the approaches themselves.  ``workload`` names the
+    registered circuit family the cell compiles (default the paper's QFT
+    kernel); ``workload_params`` are its build parameters, stored sorted for
+    the same hashability reason as ``kwargs``.
     """
 
     approach: str
@@ -57,6 +60,8 @@ class CellSpec:
     kwargs: Tuple[Tuple[str, object], ...] = ()
     rename: Optional[str] = None
     timeout_s: Optional[float] = None
+    workload: str = "qft"
+    workload_params: Tuple[Tuple[str, object], ...] = ()
 
     @classmethod
     def make(
@@ -67,10 +72,19 @@ class CellSpec:
         *,
         rename: Optional[str] = None,
         timeout_s: Optional[float] = None,
+        workload: str = "qft",
+        workload_params: Optional[Dict[str, object]] = None,
         **kwargs: object,
     ) -> "CellSpec":
         return cls(
-            approach, kind, size, tuple(sorted(kwargs.items())), rename, timeout_s
+            approach,
+            kind,
+            size,
+            tuple(sorted(kwargs.items())),
+            rename,
+            timeout_s,
+            workload,
+            tuple(sorted((workload_params or {}).items())),
         )
 
 
@@ -80,6 +94,8 @@ def _run_spec(spec: CellSpec) -> CompilationResult:
         spec.approach,
         spec.kind,
         spec.size,
+        workload=spec.workload,
+        workload_params=dict(spec.workload_params),
         topology=topology,
         timeout_s=spec.timeout_s,
         **dict(spec.kwargs),
@@ -167,6 +183,8 @@ def run_cells(
                 spec.kwargs,
                 spec.rename,
                 spec.timeout_s,
+                spec.workload,
+                spec.workload_params,
             )
             hit = cache.get(keys[i])
             if hit is not None:
@@ -177,9 +195,12 @@ def run_cells(
     def record(i: int, result: CompilationResult) -> None:
         results[i] = result
         # Timeouts are wall-clock-dependent, not deterministic per spec --
-        # caching one would serve a one-off slow run forever.  Everything
-        # else (ok / skipped / error) is a pure function of the spec.
-        if cache is not None and result.status != "timeout":
+        # caching one would serve a one-off slow run forever.  Unsupported
+        # cells are never cached either: the refusal is cheap to recompute
+        # and a registry/plugin change (a specialist gaining a workload)
+        # must take effect without a cache flush.  Everything else
+        # (ok / skipped / error) is a pure function of the spec.
+        if cache is not None and result.status not in ("timeout", "unsupported"):
             cache.put(keys[i], result)
 
     if jobs > 1 and len(todo) > 1:

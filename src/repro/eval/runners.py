@@ -1,45 +1,40 @@
-"""Workload generation and single-cell runners for the evaluation harness.
+"""Single-cell runners for the evaluation harness.
 
-Architectures are addressed the way the paper's Table 1 does:
+A *cell* is one ``(workload, approach, architecture kind, size)`` tuple.
+Everything here resolves through the three registries -- workloads
+(:mod:`repro.workloads`), approaches (:mod:`repro.approaches`) and
+architectures (:mod:`repro.arch.registry`) -- and the actual compilation is
+one :func:`repro.compile` call, so the harness, the library entry point and
+the CLI share a single source of truth for names, synonyms, allowed kwargs
+and per-approach caps.  ``make_architecture`` / ``architecture_key`` /
+``architecture_label`` are re-exported from the architecture registry for
+compatibility.
 
-* ``sycamore`` with parameter ``m``        -> ``m x m`` patch, ``N = m^2``,
-* ``heavyhex`` with parameter ``groups``   -> ``5 * groups`` qubits
-  (four per group on the main line, one dangling),
-* ``lattice`` with parameter ``m``         -> ``m x m`` FT grid, ``N = m^2``,
-* ``grid`` with parameter ``m``            -> ``m x m`` uniform-latency grid,
-* ``lnn`` with parameter ``n``             -> a line of ``n`` qubits.
-
-Approaches:
-
-* ``ours``   -- the domain-specific mapper for the architecture (Sections 4-6),
-* ``sabre``  -- the SABRE re-implementation,
-* ``satmap`` -- the exact-with-timeout SATMAP stand-in,
-* ``lnn``    -- LNN along a Hamiltonian path (grid-like architectures only),
-* ``greedy`` -- naive shortest-path router (sanity baseline, not in the paper).
+Cell outcomes are typed: ``ok`` / ``skipped`` (above the size cap) /
+``timeout`` (the paper's TLE) / ``error`` (architecture construction
+failed) / ``unsupported`` (the approach cannot compile this workload or
+architecture -- e.g. an analytic QFT specialist asked for QAOA, or LNN on a
+topology without a Hamiltonian path).  Unknown *names* still raise with
+did-you-mean suggestions: those are caller bugs, not per-cell failures.
 """
 
 from __future__ import annotations
 
-import signal
-import threading
-import time
-from contextlib import contextmanager
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..arch import (
-    CaterpillarTopology,
-    GridTopology,
-    LatticeSurgeryTopology,
-    LNNTopology,
-    SycamoreTopology,
-    Topology,
+from ..approaches import APPROACH_REGISTRY, get_approach
+from ..arch.registry import (
+    ARCHITECTURES,
+    architecture_key,
+    architecture_label,
+    make_architecture,
 )
-from ..baselines import LNNPathMapper, SabreMapper, SatmapMapper, SatmapTimeout
+from ..arch.topology import Topology
 from ..baselines.sabre import sabre_tables_for
-from ..core import GreedyRouterMapper, compile_qft
-from ..utils import BoundedCache
-from ..verify import check_mapped_qft_structure
-from .metrics import CompilationResult, result_from_mapped
+from ..compile_api import compile as compile_cell
+from ..utils import BoundedCache, CellBudgetExceeded, cell_budget
+from ..workloads import get_workload
+from .metrics import CompilationResult
 
 __all__ = [
     "make_architecture",
@@ -53,71 +48,15 @@ __all__ = [
     "APPROACHES",
 ]
 
-APPROACHES = ("ours", "sabre", "satmap", "lnn", "greedy")
+
+def _approaches() -> Tuple[str, ...]:
+    return APPROACH_REGISTRY.names()
 
 
-# Single source of truth per architecture kind: (canonical name, constructor,
-# paper-style label template).  Synonyms share one entry so factory, label and
-# the grouping key can't drift.
-_SYCAMORE = ("sycamore", lambda size: SycamoreTopology(size), "{size}*{size} Sycamore")
-_HEAVYHEX = (
-    "heavyhex",
-    lambda size: CaterpillarTopology.regular_groups(size),
-    "Heavy-hex {size}*5",
-)
-_LATTICE = (
-    "lattice",
-    lambda size: LatticeSurgeryTopology(size),
-    "Lattice surgery {size}*{size}",
-)
-_LNN = ("lnn", lambda size: LNNTopology(size), "{kind} {size}")
-_ARCHITECTURES = {
-    "sycamore": _SYCAMORE,
-    "heavyhex": _HEAVYHEX,
-    "heavy-hex": _HEAVYHEX,
-    "caterpillar": _HEAVYHEX,
-    "lattice": _LATTICE,
-    "lattice-surgery": _LATTICE,
-    "ft": _LATTICE,
-    "grid": ("grid", lambda size: GridTopology(size, size), "Grid {size}*{size}"),
-    "lnn": _LNN,
-    "line": _LNN,
-}
-
-
-def _architecture_factory(kind: str):
-    try:
-        return _ARCHITECTURES[kind.lower()][1]
-    except KeyError:
-        raise ValueError(f"unknown architecture kind {kind!r}") from None
-
-
-def architecture_key(kind: str, size: int) -> Tuple[str, int]:
-    """Stable identity of the architecture instance ``(canonical kind, size)``.
-
-    Synonymous kind spellings (``heavyhex`` / ``heavy-hex`` / ``caterpillar``,
-    ...) map to the same key, so the parallel harness can group cells that
-    share a topology and build it once per worker.  Unknown kinds get their
-    lower-cased spelling as the canonical name (the factory raises later,
-    per-cell).
-    """
-
-    kind = kind.lower()
-    entry = _ARCHITECTURES.get(kind)
-    return (entry[0] if entry is not None else kind, size)
-
-
-def make_architecture(kind: str, size: int) -> Topology:
-    """Instantiate an architecture by kind and its paper-style size parameter."""
-
-    return _architecture_factory(kind)(size)
-
-
-def architecture_label(kind: str, size: int) -> str:
-    kind = kind.lower()
-    entry = _ARCHITECTURES.get(kind)
-    template = entry[2] if entry is not None else "{kind} {size}"
-    return template.format(kind=kind, size=size)
+# Kept as a module-level tuple for backwards compatibility; the registry is
+# the source of truth (imported at module load, after the built-in approaches
+# registered themselves).
+APPROACHES = _approaches()
 
 
 # Process-local topology memo, keyed by `architecture_key`.  Evaluation sweeps
@@ -140,7 +79,7 @@ def cached_topology(kind: str, size: int) -> Optional[Topology]:
     if topo is not None:
         return topo
     try:
-        topo = _architecture_factory(kind)(size)
+        topo = make_architecture(kind, size)
     except ValueError:
         return None
     return _TOPO_MEMO.store(key, topo)
@@ -162,114 +101,26 @@ def prepare_topology(kind: str, size: int) -> Optional[Topology]:
     return topo
 
 
-class CellBudgetExceeded(Exception):
-    """Raised inside a cell whose harness-level time budget ran out."""
-
-
-@contextmanager
-def cell_budget(seconds: Optional[float]):
-    """Enforce a wall-clock budget on the enclosed block via ``SIGALRM``.
-
-    Yields True when the budget is armed.  Yields False -- and enforces
-    nothing -- when no budget was requested or the platform cannot deliver
-    SIGALRM here (non-main thread, non-Unix); callers may then fall back to
-    approach-internal deadline checks.
-    """
-
-    can_alarm = (
-        seconds is not None
-        and seconds > 0
-        and hasattr(signal, "SIGALRM")
-        and threading.current_thread() is threading.main_thread()
-    )
-    if not can_alarm:
-        yield False
-        return
-
-    def _on_alarm(signum, frame):
-        raise CellBudgetExceeded(f"cell exceeded its {seconds:g}s budget")
-
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
-    try:
-        yield True
-    finally:
-        signal.setitimer(signal.ITIMER_REAL, 0.0)
-        signal.signal(signal.SIGALRM, previous)
-
-
-# Options each approach accepts; anything else is a caller typo (e.g. `sede=3`
-# for `seed=3`) that would otherwise run with defaults, get reported as the
-# intended cell, and be persisted under the misspelled cache key.  The cell
-# time budget is a harness-level option (`run_cell(timeout_s=...)`), not an
-# approach option.
-_APPROACH_KWARGS = {
-    "ours": {"strict_ie"},
-    "our": {"strict_ie"},
-    "our-approach": {"strict_ie"},
-    "sabre": {"seed", "passes"},
-    "satmap": set(),
-    "lnn": set(),
-    "greedy": set(),
-}
-
-
-def _mapper_factory(
-    approach: str,
-    topology: Topology,
-    satmap_timeout_s: Optional[float] = None,
-    **kwargs,
-) -> Callable[[], object]:
-    approach = approach.lower()
-    allowed = _APPROACH_KWARGS.get(approach)
-    if allowed is not None:
-        unknown = set(kwargs) - allowed
-        if unknown:
-            raise ValueError(
-                f"unknown option(s) for approach {approach!r}: {sorted(unknown)}"
-                f" (accepted: {sorted(allowed) or 'none'})"
-            )
-    if approach in ("ours", "our", "our-approach"):
-        return lambda: compile_qft(topology, strict_ie=kwargs.get("strict_ie", False))
-    if approach == "sabre":
-        mapper = SabreMapper(
-            topology,
-            seed=kwargs.get("seed", 0),
-            passes=kwargs.get("passes", 3),
-        )
-        return mapper.map_qft
-    if approach == "satmap":
-        mapper = SatmapMapper(
-            topology,
-            timeout_s=60.0 if satmap_timeout_s is None else satmap_timeout_s,
-        )
-        return mapper.map_qft
-    if approach == "lnn":
-        mapper = LNNPathMapper(topology)
-        return mapper.map_qft
-    if approach == "greedy":
-        mapper = GreedyRouterMapper(topology)
-        return mapper.map_qft
-    raise ValueError(f"unknown approach {approach!r}")
-
-
 def run_cell(
     approach: str,
     kind: str,
     size: int,
     *,
+    workload: str = "qft",
+    workload_params: Optional[Dict[str, object]] = None,
     verify: bool = True,
     max_qubits: Optional[int] = None,
     timeout_s: Optional[float] = None,
     topology: Optional[Topology] = None,
     **kwargs,
 ) -> CompilationResult:
-    """Compile QFT with one approach on one architecture instance.
+    """Compile one workload with one approach on one architecture instance.
 
     ``max_qubits`` marks the cell as "skipped" (instead of running for hours)
     when the instance exceeds the harness cap for that approach -- this is how
     the benchmark suite keeps SABRE runs bounded while still reporting the
-    full sweep for the analytical approach.
+    full sweep for the analytical approach.  Omitted, the approach's
+    registered default cap (if any) applies.
 
     ``timeout_s`` is the harness-level per-cell budget: the mapper call is
     interrupted once the budget elapses and the cell is reported as
@@ -282,16 +133,20 @@ def run_cell(
     matrix / routing tables -- across all the cells of a group.
 
     Architecture construction errors (e.g. an odd Sycamore patch size) are
-    reported as a ``status == "error"`` result rather than raised, so one bad
-    cell cannot kill a whole sweep.  An unknown *approach* or *kind* still
+    reported as a ``status == "error"`` result, and approaches that cannot
+    compile the cell's workload/architecture combination as
+    ``status == "unsupported"``, rather than raised -- one bad cell cannot
+    kill a whole sweep.  An unknown approach, kind, workload or option still
     raises -- those are caller bugs, not per-cell failures.
     """
 
     label = architecture_label(kind, size)
-    factory = _architecture_factory(kind)  # unknown kind: caller bug, raises
+    get_approach(approach)  # unknown approach: caller bug, raises with hints
+    wl = get_workload(workload)  # unknown workload: likewise
     if topology is None:
+        ARCHITECTURES.get(kind)  # unknown kind: caller bug, raises with hints
         try:
-            topology = factory(size)
+            topology = make_architecture(kind, size)
         except ValueError as exc:
             return CompilationResult(
                 approach=approach,
@@ -299,37 +154,21 @@ def run_cell(
                 num_qubits=0,
                 status="error",
                 message=str(exc),
+                workload=wl.name,
             )
-    n = topology.num_qubits
-    if max_qubits is not None and n > max_qubits:
-        return CompilationResult(
-            approach=approach, architecture=label, num_qubits=n, status="skipped"
-        )
 
-    start = time.perf_counter()
-    try:
-        with cell_budget(timeout_s) as armed:
-            satmap_timeout = None  # SatmapMapper's own default
-            if timeout_s is not None:
-                satmap_timeout = float("inf") if armed else float(timeout_s)
-            mapper = _mapper_factory(
-                approach, topology, satmap_timeout_s=satmap_timeout, **kwargs
-            )
-            start = time.perf_counter()
-            mapped = mapper()
-    except (SatmapTimeout, CellBudgetExceeded):
-        elapsed = time.perf_counter() - start
-        return CompilationResult(
-            approach=approach,
-            architecture=label,
-            num_qubits=n,
-            status="timeout",
-            compile_time_s=elapsed,
-        )
-    elapsed = time.perf_counter() - start
-
-    verified: Optional[bool] = None
-    if verify:
-        verified = check_mapped_qft_structure(mapped, n).ok
-    result = result_from_mapped(approach, label, mapped, elapsed, verified)
-    return result
+    # `max_qubits=None` here means "no explicit cap": fall through to the
+    # approach's registered default (repro.compile applies it).
+    result = compile_cell(
+        workload=workload,
+        architecture=topology,
+        approach=approach,
+        workload_params=workload_params,
+        verify=verify,
+        timeout_s=timeout_s,
+        max_qubits=max_qubits,
+        **kwargs,
+    )
+    row = result.metrics()
+    row.architecture = label  # paper-style label, not the topology's name
+    return row

@@ -29,6 +29,9 @@ def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> s
 def format_results(results: Iterable[CompilationResult]) -> str:
     rows = [r.as_row() for r in results]
     columns = ["architecture", "qubits", "approach", "depth", "swaps", "compile_s", "status", "verified"]
+    # the workload column only appears once a non-QFT workload shows up
+    if any(row.get("workload") not in (None, "qft") for row in rows):
+        columns.insert(0, "workload")
     # failed cells carry a diagnostic; only show the column when one exists
     if any(row.get("message") for row in rows):
         columns.append("message")

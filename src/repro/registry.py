@@ -1,0 +1,146 @@
+"""Name registries backing the public compiler API.
+
+The paper's framework claims a *uniform interface* over per-backend
+constructions.  This module is that uniformity's single source of truth:
+workloads, approaches and architectures each register themselves in a
+:class:`Registry`, and every consumer -- :func:`repro.compile`, the
+``core.mapper_for`` facade and the evaluation harness -- resolves names
+through the same tables.  Synonyms, allowed keyword arguments, per-entry
+size caps and "did you mean ...?" diagnostics therefore cannot drift apart
+between the library and the harness.
+
+Three typed errors form the API contract:
+
+``UnknownNameError``
+    Raised on lookup of a name nobody registered; the message lists every
+    registered name plus close-match suggestions.
+``DuplicateRegistrationError``
+    Raised when a second registration claims an existing name or synonym
+    (registration bugs should fail at import time, not shadow silently).
+``UnsupportedWorkload``
+    Raised by a mapper asked to compile a workload outside its domain (the
+    QFT-specialist mappers construct their output analytically and cannot
+    route arbitrary circuits).  The evaluation harness records it as a
+    ``status == "unsupported"`` cell instead of crashing the sweep.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Dict, Generic, Iterable, List, Optional, Tuple, TypeVar
+
+__all__ = [
+    "Registry",
+    "UnknownNameError",
+    "DuplicateRegistrationError",
+    "UnsupportedWorkload",
+]
+
+T = TypeVar("T")
+
+
+class UnknownNameError(ValueError):
+    """Lookup of a name that was never registered (with suggestions)."""
+
+    def __init__(self, kind: str, name: str, registered: Iterable[str]) -> None:
+        names = sorted(registered)
+        msg = f"unknown {kind} {name!r}; registered: {', '.join(names) or '(none)'}"
+        close = difflib.get_close_matches(name, names, n=3, cutoff=0.5)
+        if close:
+            msg += f" -- did you mean {' or '.join(repr(c) for c in close)}?"
+        super().__init__(msg)
+        self.kind = kind
+        self.name = name
+        self.registered = tuple(names)
+        self.suggestions = tuple(close)
+
+    def __reduce__(self):
+        # Exceptions pickle as (cls, self.args) by default, which would call
+        # __init__ with the formatted message; rebuild from the real fields
+        # instead (the parallel harness ships these across process pools).
+        return (type(self), (self.kind, self.name, self.registered))
+
+
+class DuplicateRegistrationError(ValueError):
+    """A second registration tried to claim an already-registered name."""
+
+
+class UnsupportedWorkload(ValueError):
+    """A mapper cannot compile the requested workload (domain-specialist).
+
+    This is the *typed* refusal of the uniform ``map_circuit`` surface: the
+    analytic QFT mappers raise it for anything that is not a textbook QFT,
+    and the harness reports the cell as ``status == "unsupported"``.
+    """
+
+
+class Registry(Generic[T]):
+    """A named table of entries with synonym support.
+
+    ``register(name, value, synonyms=...)`` claims the canonical name plus
+    every synonym; all spellings are matched case-insensitively.  ``get``
+    resolves any spelling to the value, ``canonical`` to the canonical name.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._canonical: Dict[str, T] = {}
+        self._alias: Dict[str, str] = {}  # any spelling (lower) -> canonical
+
+    # -- registration ------------------------------------------------------
+    def register(
+        self, name: str, value: T, *, synonyms: Iterable[str] = ()
+    ) -> T:
+        spellings = [name, *synonyms]
+        for s in spellings:
+            key = s.lower()
+            if key in self._alias:
+                raise DuplicateRegistrationError(
+                    f"{self.kind} name {s!r} is already registered "
+                    f"(for {self._alias[key]!r})"
+                )
+        self._canonical[name] = value
+        for s in spellings:
+            self._alias[s.lower()] = name
+        return value
+
+    # -- lookup ------------------------------------------------------------
+    def canonical(self, name: str) -> str:
+        try:
+            return self._alias[name.lower()]
+        except KeyError:
+            raise UnknownNameError(self.kind, name, self._canonical) from None
+
+    def get(self, name: str) -> T:
+        return self._canonical[self.canonical(name)]
+
+    def canonical_or_none(self, name: str) -> Optional[str]:
+        """Canonical spelling, or None for unknown names (no raise)."""
+
+        return self._alias.get(name.lower())
+
+    def names(self) -> Tuple[str, ...]:
+        """Canonical names, in registration order."""
+
+        return tuple(self._canonical)
+
+    def synonyms(self, name: str) -> Tuple[str, ...]:
+        """Non-canonical spellings registered for ``name``."""
+
+        canon = self.canonical(name)
+        return tuple(
+            sorted(
+                alias
+                for alias, target in self._alias.items()
+                if target == canon and alias != canon.lower()
+            )
+        )
+
+    def items(self) -> List[Tuple[str, T]]:
+        return list(self._canonical.items())
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._alias
+
+    def __len__(self) -> int:
+        return len(self._canonical)

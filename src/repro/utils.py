@@ -2,10 +2,19 @@
 
 from __future__ import annotations
 
+import signal
+import sys
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import List, Optional, TypeVar
 
-__all__ = ["BoundedCache", "clear_process_caches"]
+__all__ = [
+    "BoundedCache",
+    "clear_process_caches",
+    "CellBudgetExceeded",
+    "cell_budget",
+]
 
 V = TypeVar("V")
 
@@ -52,3 +61,56 @@ class BoundedCache(OrderedDict):
         if len(self) > self.max_entries:
             self.popitem(last=False)
         return value
+
+
+class CellBudgetExceeded(Exception):
+    """Raised inside a compilation whose harness-level time budget ran out."""
+
+
+@contextmanager
+def cell_budget(seconds: Optional[float]):
+    """Enforce a wall-clock budget on the enclosed block via ``SIGALRM``.
+
+    Yields True when the budget is armed.  Yields False -- and enforces
+    nothing -- when no budget was requested or the platform cannot deliver
+    SIGALRM here (non-main thread, non-Unix); callers may then fall back to
+    approach-internal deadline checks.
+    """
+
+    can_alarm = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        yield False
+        return
+
+    def _on_alarm(signum, frame):
+        # While a CellBudgetExceeded is already in flight (the stack is
+        # unwinding through finally blocks -- including this context
+        # manager's own disarm/restore below), a re-fired alarm must NOT
+        # raise a second one: it would abort the cleanup mid-way, leaving
+        # the repeating timer and this handler installed to crash arbitrary
+        # later code.  An in-flight exception also means the first raise
+        # was *delivered*, so no re-raise is needed.
+        if isinstance(sys.exc_info()[1], CellBudgetExceeded):
+            return
+        raise CellBudgetExceeded(f"cell exceeded its {seconds:g}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    # Repeating timer, not one-shot: if the first alarm lands while an
+    # uninterruptible frame is on top of the stack (e.g. a GC callback, where
+    # the interpreter swallows the exception with "Exception ignored in"),
+    # a one-shot budget would silently never enforce anything -- and a
+    # budgeted approach whose internal deadline was disarmed in favour of
+    # the harness budget would run forever.  The interval re-delivers until
+    # the exception lands in interruptible code (after a swallowed raise the
+    # exception is no longer in flight, so the guard above lets it re-fire).
+    signal.setitimer(signal.ITIMER_REAL, float(seconds), min(float(seconds), 0.05))
+    try:
+        yield True
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -1,0 +1,35 @@
+"""Pluggable workload families for the compiler (see :mod:`.base`).
+
+Importing this package registers the built-in families (``qft``, ``qaoa``,
+``random``); third-party families register themselves with
+:func:`register_workload` at import time and become addressable everywhere a
+workload name is accepted (:func:`repro.compile`, ``run_cell``,
+``python -m repro.eval --workload ...``).
+"""
+
+from ..registry import UnsupportedWorkload
+from .base import (
+    VerifyResult,
+    Workload,
+    WORKLOADS,
+    get_workload,
+    register_workload,
+    workload_names,
+)
+from .qft import QFTWorkload
+from .qaoa import QAOAWorkload, qaoa_graph
+from .random_circuit import RandomCircuitWorkload
+
+__all__ = [
+    "UnsupportedWorkload",
+    "VerifyResult",
+    "Workload",
+    "WORKLOADS",
+    "get_workload",
+    "register_workload",
+    "workload_names",
+    "QFTWorkload",
+    "QAOAWorkload",
+    "qaoa_graph",
+    "RandomCircuitWorkload",
+]

@@ -1,0 +1,67 @@
+"""The QFT workload: the paper's kernel, ported onto the workload protocol.
+
+Verification keeps the paper-faithful path from :mod:`repro.verify`: the
+QFT-specific structural invariants (exactly one H per qubit, exactly one
+CPHASE per pair at the right angle, Type-II dependence order) at every size,
+plus the dense unitary cross-check on small instances.
+
+``map_with`` is the *workload-aware fast path* of the redesign: mappers that
+expose ``map_qft`` (every QFT specialist, and the baselines) are driven
+through it directly, so the analytic constructions never materialise the
+O(n^2) textbook gate list.  Mappers without it fall back to the uniform
+``map_circuit`` surface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..circuit.circuit import Circuit
+from ..circuit.qft import qft_circuit
+from ..circuit.schedule import MappedCircuit
+from .base import DEFAULT_STATEVECTOR_LIMIT, VerifyResult, Workload, register_workload
+
+__all__ = ["QFTWorkload"]
+
+
+@register_workload
+class QFTWorkload(Workload):
+    """Textbook quantum Fourier transform kernel (Fig. 2 of the paper)."""
+
+    name = "qft"
+    defaults: dict = {}
+
+    def build(self, num_qubits: int, **params: object) -> Circuit:
+        self.resolve_params(**params)
+        return qft_circuit(num_qubits)
+
+    def map_with(
+        self, mapper: object, num_qubits: int, **params: object
+    ) -> MappedCircuit:
+        self.resolve_params(**params)
+        map_qft = getattr(mapper, "map_qft", None)
+        if map_qft is not None:
+            return map_qft(num_qubits)
+        return super().map_with(mapper, num_qubits, **params)
+
+    def verify(
+        self,
+        mapped: MappedCircuit,
+        num_qubits: Optional[int] = None,
+        *,
+        statevector_limit: int = DEFAULT_STATEVECTOR_LIMIT,
+        **params: object,
+    ) -> VerifyResult:
+        self.resolve_params(**params)
+        # Import here: repro.verify.checker builds on circuit/qft only, but
+        # keeping the import local avoids widening the module import graph.
+        from ..verify.checker import verify_mapped_qft
+
+        result = verify_mapped_qft(
+            mapped, num_qubits, statevector_limit=statevector_limit
+        )
+        return VerifyResult(
+            ok=result.ok,
+            unitary_checked=result.unitary_checked,
+            detail="" if result.ok else result.summary(),
+        )

@@ -1,0 +1,66 @@
+"""Seeded random two-qubit-gate circuits.
+
+The classic router benchmark: layers of a random near-perfect matching over
+the logical qubits, each matched pair receiving a random two-qubit gate
+(CPHASE with a random angle, or CNOT), interleaved with sparse single-qubit
+gates.  Like QAOA, the wide random layers give routers a large, slowly
+turning front layer -- the regime where SABRE's cross-iteration score cache
+was designed to amortise.
+
+Instances are a pure function of ``(num_qubits, seed, layers,
+single_qubit_prob)``.  ``layers=None`` (the default) scales the depth with
+the width as ``max(4, num_qubits // 2)``, so sweeps over device sizes keep
+the gate count roughly proportional to qubits^2 / 2 -- the same growth as
+the QFT kernel, which keeps per-size comparisons across workloads fair.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..circuit.circuit import Circuit
+from .base import Workload, register_workload
+
+__all__ = ["RandomCircuitWorkload"]
+
+
+@register_workload
+class RandomCircuitWorkload(Workload):
+    """Layers of random two-qubit gates over random qubit pairings."""
+
+    name = "random"
+    synonyms = ("random-circuit", "random_circuit")
+    defaults = {"seed": 0, "layers": None, "single_qubit_prob": 0.2}
+
+    def build(self, num_qubits: int, **params: object) -> Circuit:
+        p = self.resolve_params(**params)
+        seed = p["seed"]
+        layers = p["layers"]
+        sq_prob = float(p["single_qubit_prob"])
+        if num_qubits < 2:
+            raise ValueError("random circuits need at least two qubits")
+        if layers is None:
+            layers = max(4, num_qubits // 2)
+        layers = int(layers)
+        if layers < 1:
+            raise ValueError("need at least one layer")
+
+        rng = random.Random(f"random-circuit:{num_qubits}:{seed}")
+        circ = Circuit(num_qubits, name=f"random_{num_qubits}_d{layers}_s{seed}")
+        qubits = list(range(num_qubits))
+        for _ in range(layers):
+            rng.shuffle(qubits)
+            for k in range(0, num_qubits - 1, 2):
+                a, b = qubits[k], qubits[k + 1]
+                if rng.random() < 0.75:
+                    circ.cphase(a, b, rng.uniform(0.05, math.pi))
+                else:
+                    circ.cnot(a, b)
+            for q in range(num_qubits):
+                if rng.random() < sq_prob:
+                    if rng.random() < 0.5:
+                        circ.h(q)
+                    else:
+                        circ.rz(q, rng.uniform(0.05, math.pi))
+        return circ
