@@ -14,7 +14,10 @@ repo a perf trajectory:
 
 ``--smoke`` shrinks every group to a seconds-scale subset for CI
 (``scripts/ci.sh`` runs that mode); the default ("full") suite is the one
-whose before/after totals EXPERIMENTS.md records.
+whose before/after totals EXPERIMENTS.md records.  Each group runs through
+the declarative run API (``adhoc_plan``/``execute``), and its record carries
+the typed ``RunReport`` (executor name, status counts, wall-clock) next to
+the per-cell timings.
 
 Usage::
 
@@ -35,7 +38,8 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.eval.experiments import QUICK  # noqa: E402
-from repro.eval.parallel import CellSpec, run_cells  # noqa: E402
+from repro.eval.parallel import CellSpec  # noqa: E402
+from repro.eval.runs import adhoc_plan, execute  # noqa: E402
 
 
 def _git(*args: str) -> str:
@@ -123,12 +127,25 @@ def main(argv=None) -> int:
     groups = []
     t_suite = time.perf_counter()
     for name, specs in _suite(args.smoke):
-        t0 = time.perf_counter()
-        results = run_cells(specs, jobs=args.jobs)
-        wall = time.perf_counter() - t0
-        cells = [_cell_record(s, r) for s, r in zip(specs, results)]
-        groups.append({"name": name, "wall_s": round(wall, 3), "cells": cells})
-        print(f"{name:16s} {wall:8.2f}s  ({len(specs)} cells)", flush=True)
+        # Each group runs as one plan through the run API, so the output
+        # records the typed RunReport (executor name, status counts, wall)
+        # alongside the per-cell timings the perf trajectory is built on.
+        report = execute(adhoc_plan(name, specs), jobs=args.jobs)
+        cells = [_cell_record(s, r) for s, r in zip(specs, report.results)]
+        groups.append(
+            {
+                "name": name,
+                "wall_s": round(report.wall_s, 3),
+                "executor": report.executor,
+                "report": report.to_dict(include_results=False),
+                "cells": cells,
+            }
+        )
+        print(
+            f"{name:16s} {report.wall_s:8.2f}s  ({len(specs)} cells, "
+            f"{report.executor})",
+            flush=True,
+        )
     total = time.perf_counter() - t_suite
 
     payload = {

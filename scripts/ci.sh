@@ -32,17 +32,49 @@ echo "$sweep_out" | grep -Eq "qaoa .* sabre .* ok " || {
 }
 
 echo
-echo "=== eval smoke: fig27 seed sweep through the parallel harness ==="
+echo "=== eval smoke: fig27 split across two shards, journaled, then merged ==="
 cache_dir=$(mktemp -d)
 trap 'rm -rf "$cache_dir"' EXIT
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
-    python -m repro.eval -e fig27 --jobs 2 --cache "$cache_dir"
-# warm re-run must be served entirely from the cache (any hit count, 0 misses)
+# Two "machines" run complementary slices of the same plan, each journaling
+# to its own run journal and caching to its own directory...
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.eval -e fig27 \
+    --shard 0/2 --journal "$cache_dir/j0" --cache "$cache_dir/c0" | tail -2
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.eval -e fig27 \
+    --shard 1/2 --journal "$cache_dir/j1" --cache "$cache_dir/c1" | tail -2
+# ...while a single unsharded run (through the pool executor) journals the
+# reference; the union of the shard journals must equal it cell for cell.
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.eval -e fig27 \
+    --jobs 2 --executor shard-coordinator --journal "$cache_dir/jfull" | tail -2
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - "$cache_dir" <<'PY'
+import json, sys
+from pathlib import Path
+
+def cells(path):
+    out = {}
+    for line in Path(path, "journal.jsonl").read_text().splitlines():
+        rec = json.loads(line)
+        if rec.get("type") != "cell":
+            continue
+        r = rec["result"]
+        out[rec["key"]] = (r["approach"], r["status"], r["depth"], r["swap_count"])
+    return out
+
+base = sys.argv[1]
+sharded = {**cells(f"{base}/j0"), **cells(f"{base}/j1")}
+full = cells(f"{base}/jfull")
+assert set(cells(f"{base}/j0")) .isdisjoint(cells(f"{base}/j1")), "shards overlap"
+assert sharded == full, f"merged shard journals != single run: {sharded} vs {full}"
+print(f"shard smoke ok: {len(full)} cells, 2-shard union == unsharded run")
+PY
+# Conflict-checked cache merge unions the shard caches; the merged cache must
+# then serve the whole sweep warm (0 misses).
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.eval \
+    --cache "$cache_dir/merged" --cache-merge "$cache_dir/c0" "$cache_dir/c1"
 warm_out=$(PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
-    python -m repro.eval -e fig27 --jobs 2 --cache "$cache_dir")
+    python -m repro.eval -e fig27 --jobs 2 --cache "$cache_dir/merged")
 echo "$warm_out" | tail -2
 echo "$warm_out" | grep -Eq "cache: [0-9]+ hits, 0 misses" || {
-    echo "ci.sh: FAIL — warm re-run was not fully served from the cache" >&2
+    echo "ci.sh: FAIL — merged shard caches did not serve the full sweep warm" >&2
     exit 1
 }
 

@@ -1,9 +1,46 @@
-"""Evaluation harness: workloads, runners and experiment definitions."""
+"""Evaluation harness: runners, executors, and the declarative run API.
+
+The modern surface is ``plan()`` / ``execute()`` over registered
+experiments (:mod:`repro.eval.runs`), pluggable executors
+(:mod:`repro.eval.executors`) and the crash-safe run journal
+(:mod:`repro.eval.journal`); the classic ``experiment_*`` functions and
+``run_cells`` survive as shims over the same machinery.
+"""
 
 from .metrics import CompilationResult, result_from_mapped
-from .runners import APPROACHES, architecture_label, make_architecture, run_cell
-from .cache import ResultCache, code_version
+from .runners import (
+    APPROACHES,
+    architecture_label,
+    make_architecture,
+    run_cell,
+    sample_verifies,
+)
+from .cache import CacheMergeConflict, ResultCache, code_version
 from .parallel import CellSpec, run_cells
+from .journal import RunJournal, cell_key
+from .executors import (
+    EXECUTOR_REGISTRY,
+    ExecutionContext,
+    ExecutionOutcome,
+    Executor,
+    executor_names,
+    get_executor,
+    register_executor,
+    run_specs,
+)
+from .runs import (
+    EXPERIMENT_REGISTRY,
+    ExperimentEntry,
+    RunPlan,
+    RunReport,
+    adhoc_plan,
+    execute,
+    experiment_names,
+    get_experiment,
+    partition_cells,
+    plan,
+    register_experiment,
+)
 from .tables import format_results, format_series, format_table
 from .experiments import (
     PAPER,
@@ -28,10 +65,33 @@ __all__ = [
     "architecture_label",
     "make_architecture",
     "run_cell",
+    "sample_verifies",
     "ResultCache",
+    "CacheMergeConflict",
     "code_version",
     "CellSpec",
     "run_cells",
+    "RunJournal",
+    "cell_key",
+    "EXECUTOR_REGISTRY",
+    "ExecutionContext",
+    "ExecutionOutcome",
+    "Executor",
+    "executor_names",
+    "get_executor",
+    "register_executor",
+    "run_specs",
+    "EXPERIMENT_REGISTRY",
+    "ExperimentEntry",
+    "RunPlan",
+    "RunReport",
+    "adhoc_plan",
+    "execute",
+    "experiment_names",
+    "get_experiment",
+    "partition_cells",
+    "plan",
+    "register_experiment",
     "format_results",
     "format_series",
     "format_table",

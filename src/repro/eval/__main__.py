@@ -1,22 +1,47 @@
-"""``python -m repro.eval`` — alias for the experiment CLI.
+"""``python -m repro.eval`` — thin shell over ``plan()`` / ``execute()``.
 
-Equivalent to ``python -m repro.eval.experiments``; see that module for the
-available experiments and profiles.  Useful flags::
+Each requested experiment is resolved through the experiment registry
+(:mod:`repro.eval.runs`; synonyms work, unknown names suggest corrections),
+turned into a typed ``RunPlan`` and dispatched through a registered
+executor.  Useful flags::
 
-    -e/--experiment NAME   one of table1, fig17..fig19, fig27, relaxed,
+    -e/--experiment NAME   any registered experiment or synonym (see
+                           --list): table1, fig17..fig19, fig27, relaxed,
                            partition, linearity, sweep, or "all"
+    --list                 print the experiment registry table and exit
     --profile quick|paper  instance sizes
     --workload NAME        workload for the registry cross-product "sweep"
                            experiment (qft, qaoa, random, or any plugin);
                            implies -e sweep when no experiment is given
-    --jobs N               fan evaluation cells out over N worker processes;
-                           cells sharing a topology are grouped into chunks
-                           so each worker builds the topology, distance
-                           matrix and SABRE tables once per topology
+    --jobs N               worker processes (topology-grouped fan-out)
+    --executor NAME        serial | pool | shard-coordinator (defaults:
+                           serial; pool when --jobs > 1; shard-coordinator
+                           when --journal/--resume is given)
+    --shard I/N            run slice I of a deterministic N-way partition
+                           of the plan, balanced by topology group; the
+                           union of all N slices is the full experiment
+    --verify POLICY        full | sample | off — per-cell verification
+                           policy (part of the cache key)
+    --journal DIR          stream per-cell results to an append-only JSONL
+                           run journal (crash-safe, resumable)
+    --resume DIR           resume a crashed run from its journal: cells
+                           already journaled are served, not re-run;
+                           straggler/timeout cells are re-dispatched once
     --cache DIR            JSON result cache; warm re-runs only compute
                            cells missing under the current code version
-    --cache-merge DIR...   union sharded cache directories into --cache
-                           (then exit, unless -e is also given)
+    --cache-merge DIR...   union sharded cache directories into --cache;
+                           entries that disagree under the same key raise
+                           instead of silently winning by order
+
+A typical two-machine sweep::
+
+    # machine A                                   # machine B
+    python -m repro.eval -e fig19 --profile paper \\
+        --shard 0/2 --journal runs/s0 --cache cache-a
+                                                  ... --shard 1/2 --journal runs/s1 --cache cache-b
+    # afterwards, on one host:
+    python -m repro.eval --cache merged --cache-merge cache-a cache-b
+    python -m repro.eval -e fig19 --profile paper --cache merged   # all hits
 """
 
 import sys

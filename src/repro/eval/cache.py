@@ -27,7 +27,18 @@ from typing import Dict, Iterable, Optional, Tuple
 
 from .metrics import CompilationResult
 
-__all__ = ["ResultCache", "code_version"]
+__all__ = ["ResultCache", "CacheMergeConflict", "code_version"]
+
+
+class CacheMergeConflict(ValueError):
+    """Two caches disagree about the same key under the same code version.
+
+    Every key encodes the full cell spec plus the code version, and every
+    cell is deterministic given both -- so two shards storing *different*
+    metrics under one key means one of them is corrupt or was produced by
+    tampered sources.  Merging must surface that loudly instead of silently
+    keeping whichever directory happened to be merged first.
+    """
 
 _CODE_VERSION: Optional[str] = None
 
@@ -78,6 +89,7 @@ class ResultCache:
         timeout_s: Optional[float] = None,
         workload: str = "qft",
         workload_params: Iterable[Tuple[str, object]] = (),
+        verify: str = "full",
     ) -> str:
         payload = json.dumps(
             {
@@ -91,6 +103,7 @@ class ResultCache:
                 "workload_params": sorted(
                     (str(k), repr(v)) for k, v in workload_params
                 ),
+                "verify": verify,
                 "code": self.version,
             },
             sort_keys=True,
@@ -135,17 +148,30 @@ class ResultCache:
             raise
 
     # ------------------------------------------------------------------
+    #: result fields excluded from the merge conflict check: wall-clock is a
+    #: property of the machine/run, not of the spec, so two shards computing
+    #: the same deterministic cell legitimately disagree on it.
+    _VOLATILE_FIELDS = ("compile_time_s",)
+
+    def _comparable(self, data: Dict[str, object]) -> Dict[str, object]:
+        return {k: v for k, v in data.items() if k not in self._VOLATILE_FIELDS}
+
     def merge(self, other_root: os.PathLike) -> Dict[str, int]:
         """Union the entries of another cache directory into this one.
 
         The key of every entry already encodes spec + code version in its
-        file name, so merging is a file-level union: entries whose key is
-        present here are skipped (same key == identical bytes by
-        construction), unreadable/corrupt files are counted and ignored, and
-        everything else is copied atomically (write + rename, like
-        :meth:`put`) so a merge is safe to run concurrently with writers.
-        This is the union step for sharded sweeps: machines run disjoint
-        slices against private cache dirs, then one host merges them.
+        file name, so merging is a file-level union, performed in sorted key
+        order (deterministic regardless of directory listing order):
+        unreadable/corrupt source files are counted and ignored, fresh
+        entries are copied atomically (write + rename, like :meth:`put`, so
+        a merge is safe to run concurrently with writers), and entries whose
+        key is already present here are *conflict-checked* -- every
+        deterministic field must agree (wall-clock may differ; two machines
+        timing the same cell never match).  A disagreement raises
+        :class:`CacheMergeConflict` instead of silently keeping whichever
+        directory was merged first.  This is the union step for sharded
+        sweeps: machines run slices against private cache dirs, then one
+        host merges them.
         """
 
         other = Path(other_root)
@@ -154,15 +180,35 @@ class ResultCache:
         imported = skipped = invalid = 0
         for path in sorted(other.glob("*.json")):
             dest = self._path(path.stem)
-            if dest.exists():
-                skipped += 1
-                continue
             try:
                 raw = path.read_bytes()
-                CompilationResult.from_dict(json.loads(raw.decode("utf-8")))
+                incoming = json.loads(raw.decode("utf-8"))
+                CompilationResult.from_dict(incoming)
             except (OSError, ValueError, TypeError):
                 invalid += 1
                 continue
+            if dest.exists():
+                try:
+                    existing = json.loads(dest.read_text(encoding="utf-8"))
+                except (OSError, ValueError):
+                    existing = None  # corrupt local entry: let the copy heal it
+                if existing is not None:
+                    if self._comparable(existing) != self._comparable(incoming):
+                        differing = sorted(
+                            k
+                            for k in set(existing) | set(incoming)
+                            if k not in self._VOLATILE_FIELDS
+                            and existing.get(k) != incoming.get(k)
+                        )
+                        raise CacheMergeConflict(
+                            f"cache entry {path.stem} from {other} disagrees "
+                            f"with the existing entry on field(s) "
+                            f"{', '.join(differing)}; same key + same code "
+                            "version must mean identical results -- one of "
+                            "the caches is corrupt"
+                        )
+                    skipped += 1
+                    continue
             fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:

@@ -1,0 +1,456 @@
+"""Pluggable executors: *how* a list of evaluation cells gets run.
+
+The declarative layer (:mod:`repro.eval.runs`) describes *what* to run as a
+typed ``RunPlan``; this module supplies the strategy objects that run it.
+Executors register themselves in :data:`EXECUTOR_REGISTRY` (same
+synonym/did-you-mean machinery as the workload/approach/architecture
+registries) and expose one method, :meth:`Executor.run`.  Built-ins:
+
+``serial``
+    Every cell in order, in-process.  No pool overhead; the right choice for
+    tiny sweeps and debugging.
+``pool``
+    The topology-grouped process pool: cells that target the same coupling
+    graph are dispatched to workers as whole chunks, every worker resolves
+    topologies through the process-local memo in :mod:`repro.eval.runners`,
+    and on fork-based platforms the parent prewarms each distinct topology
+    so workers inherit the distance matrices and SABRE tables copy-on-write.
+``shard-coordinator``
+    The fleet-scale strategy: runs its slice through the same pool
+    machinery, but *streams* every finished cell to an append-only JSONL
+    journal (:mod:`repro.eval.journal`), resumes from a journal after a
+    crash (journaled cells are served, not re-run), and re-dispatches
+    straggler/timeout cells once before reporting them.  Across hosts, each
+    machine executes one ``plan(..., shard=(i, n))`` slice with its own
+    journal and cache; ``--cache-merge`` unions the caches afterwards.
+
+Results always come back in spec order, and every cell is deterministic
+given its spec, so the choice of executor (and ``jobs``) never changes the
+metrics -- only the wall-clock time (a property the test suite asserts).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..registry import Registry
+from .cache import ResultCache
+from .journal import RunJournal, cell_key
+from .metrics import CompilationResult
+from .parallel import CellSpec
+from .runners import architecture_key, cached_topology, prepare_topology, run_cell
+
+__all__ = [
+    "Executor",
+    "ExecutionContext",
+    "ExecutionOutcome",
+    "EXECUTOR_REGISTRY",
+    "register_executor",
+    "get_executor",
+    "executor_names",
+    "run_specs",
+]
+
+
+# ---------------------------------------------------------------------------
+# The engine (ported from the pre-redesign repro.eval.parallel.run_cells)
+# ---------------------------------------------------------------------------
+
+
+def _run_spec(spec: CellSpec) -> CompilationResult:
+    topology = cached_topology(spec.kind, spec.size)  # None -> per-cell error
+    result = run_cell(
+        spec.approach,
+        spec.kind,
+        spec.size,
+        workload=spec.workload,
+        workload_params=dict(spec.workload_params),
+        topology=topology,
+        timeout_s=spec.timeout_s,
+        verify=spec.verify,
+        **dict(spec.kwargs),
+    )
+    if spec.rename is not None:
+        result.approach = spec.rename
+    return result
+
+
+def _run_chunk(
+    specs: Sequence[CellSpec],
+) -> Tuple[List[CompilationResult], Optional[Exception]]:
+    """Worker-side entry point: run a same-topology chunk of cells in order.
+
+    Returns the results plus the first raised exception (if any), so the
+    parent can record -- and cache/journal -- the cells that *did* finish
+    before re-raising; with one task per chunk, a plain raise would otherwise
+    discard every completed result in the chunk.  Only ``Exception`` is
+    forwarded: KeyboardInterrupt/SystemExit must keep killing the worker
+    promptly rather than ride along as a value.
+    """
+
+    results: List[CompilationResult] = []
+    for spec in specs:
+        try:
+            results.append(_run_spec(spec))
+        except Exception as exc:
+            return results, exc
+    return results, None
+
+
+def _topology_chunks(
+    specs: Sequence[CellSpec], todo: Sequence[int], jobs: int
+) -> List[List[int]]:
+    """Partition ``todo`` into same-topology chunks for pool dispatch.
+
+    Each topology group is split into at most ``jobs`` chunks, so a sweep
+    dominated by one topology (e.g. a seed sweep) still saturates the pool
+    while cells sharing a topology land on as few workers as possible.
+    """
+
+    groups: Dict[Tuple[str, int], List[int]] = {}
+    for i in todo:
+        groups.setdefault(architecture_key(specs[i].kind, specs[i].size), []).append(i)
+
+    chunks: List[List[int]] = []
+    for members in groups.values():
+        parts = min(jobs, len(members))
+        base, extra = divmod(len(members), parts)
+        start = 0
+        for p in range(parts):
+            size = base + (1 if p < extra else 0)
+            chunks.append(members[start : start + size])
+            start += size
+    return chunks
+
+
+def run_specs(
+    specs: Sequence[CellSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    group_topologies: bool = True,
+    skip: Optional[Dict[int, CompilationResult]] = None,
+    on_result: Optional[Callable[[int, CellSpec, CompilationResult], None]] = None,
+) -> List[CompilationResult]:
+    """Run every spec, in order, using up to ``jobs`` worker processes.
+
+    With a cache, hits are served without running anything and fresh results
+    are stored on the way out; only the misses are distributed to workers.
+    ``skip`` pre-resolves cells by index (the coordinator's resume path:
+    journaled cells are served as-is, no cache lookup, no callback).
+    ``on_result`` is invoked in the parent -- never in a worker -- for every
+    result this run produced (computed or cache-hit, not skipped), as soon
+    as it lands; the coordinator streams the journal through it.
+    """
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    results: List[Optional[CompilationResult]] = [None] * len(specs)
+    keys: Dict[int, str] = {}
+    todo: List[int] = []
+    skip = skip or {}
+    for i, spec in enumerate(specs):
+        if i in skip:
+            results[i] = skip[i]
+            continue
+        if cache is not None:
+            keys[i] = cache.key(
+                spec.approach,
+                spec.kind,
+                spec.size,
+                spec.kwargs,
+                spec.rename,
+                spec.timeout_s,
+                spec.workload,
+                spec.workload_params,
+                verify=spec.verify,
+            )
+            hit = cache.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                if on_result is not None:
+                    on_result(i, spec, hit)
+                continue
+        todo.append(i)
+
+    def record(i: int, result: CompilationResult) -> None:
+        results[i] = result
+        # Timeouts are wall-clock-dependent, not deterministic per spec --
+        # caching one would serve a one-off slow run forever.  Unsupported
+        # cells are never cached either: the refusal is cheap to recompute
+        # and a registry/plugin change (a specialist gaining a workload)
+        # must take effect without a cache flush.  Everything else
+        # (ok / skipped / error) is a pure function of the spec.
+        if cache is not None and result.status not in ("timeout", "unsupported"):
+            cache.put(keys[i], result)
+        if on_result is not None:
+            on_result(i, specs[i], result)
+
+    if jobs > 1 and len(todo) > 1:
+        # Warm each distinct topology (+ distance matrix + SABRE tables) in
+        # the parent first, where fork-based pools share them copy-on-write.
+        # Under spawn (macOS/Windows default) workers inherit nothing, so the
+        # parent-side work would be pure waste -- each worker's own memo
+        # still builds everything once per (worker, topology) there.
+        if multiprocessing.get_start_method() == "fork":
+            seen = set()
+            for i in todo:
+                key = architecture_key(specs[i].kind, specs[i].size)
+                if key not in seen:
+                    seen.add(key)
+                    prepare_topology(specs[i].kind, specs[i].size)
+        if group_topologies:
+            chunks = _topology_chunks(specs, todo, jobs)
+        else:
+            chunks = [[i] for i in todo]
+        # Record each chunk's finished cells as it completes -- including the
+        # prefix of a chunk whose later cell crashed (the worker forwards the
+        # exception instead of raising) -- so a mid-sweep failure (worker
+        # OOM, Ctrl-C, one bad cell) does not discard hours of finished work.
+        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+            futures = {
+                pool.submit(_run_chunk, [specs[i] for i in chunk]): chunk
+                for chunk in chunks
+            }
+            failure: Optional[Exception] = None
+            for fut in as_completed(futures):
+                chunk_results, exc = fut.result()
+                for i, result in zip(futures[fut], chunk_results):
+                    record(i, result)
+                if exc is not None and failure is None:
+                    failure = exc
+            if failure is not None:
+                raise failure
+    else:
+        for i in todo:
+            record(i, _run_spec(specs[i]))
+
+    return results  # type: ignore[return-value]  # every slot is filled above
+
+
+# ---------------------------------------------------------------------------
+# Executor protocol + registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an executor may need beyond the cells themselves."""
+
+    jobs: int = 1
+    cache: Optional[ResultCache] = None
+    group_topologies: bool = True
+    #: directory for a fresh run journal (shard-coordinator only)
+    journal_dir: Optional[str] = None
+    #: directory of an existing journal to resume from (shard-coordinator)
+    resume_dir: Optional[str] = None
+    #: metadata written to (and checked against) the journal's header line
+    meta: Dict[str, object] = field(default_factory=dict)
+    #: how many times a timeout cell is re-dispatched before being reported
+    retry_timeouts: int = 1
+
+
+@dataclass
+class ExecutionOutcome:
+    """What an executor did: the results plus its bookkeeping."""
+
+    results: List[CompilationResult]
+    resumed: int = 0  # cells served from a journal, not re-run
+    retried: int = 0  # straggler cells re-dispatched
+    recovered: int = 0  # retried cells whose second attempt succeeded
+    journal_path: Optional[str] = None
+
+
+class Executor:
+    """Base class for registered executors (``run`` is the whole surface)."""
+
+    name: str = ""
+
+    def run(
+        self, specs: Sequence[CellSpec], ctx: ExecutionContext
+    ) -> ExecutionOutcome:
+        raise NotImplementedError
+
+
+#: the process-wide executor registry
+EXECUTOR_REGISTRY: Registry[Executor] = Registry("executor")
+
+
+def register_executor(name: str, *, synonyms: Sequence[str] = ()):
+    """Class decorator: instantiate and register an :class:`Executor`."""
+
+    def _register(cls):
+        instance = cls()
+        instance.name = name
+        EXECUTOR_REGISTRY.register(name, instance, synonyms=synonyms)
+        return cls
+
+    return _register
+
+
+def get_executor(name: str) -> Executor:
+    """Resolve an executor by any registered spelling (raises with hints)."""
+
+    return EXECUTOR_REGISTRY.get(name)
+
+
+def executor_names() -> Tuple[str, ...]:
+    """Canonical names of every registered executor."""
+
+    return EXECUTOR_REGISTRY.names()
+
+
+def _require_no_journal(ctx: ExecutionContext, name: str) -> None:
+    if ctx.journal_dir or ctx.resume_dir:
+        raise ValueError(
+            f"executor {name!r} does not journal runs; use the "
+            "'shard-coordinator' executor for --journal/--resume"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Built-in executors
+# ---------------------------------------------------------------------------
+
+
+@register_executor("serial", synonyms=("inline", "sync"))
+class SerialExecutor(Executor):
+    """Every cell in order, in-process (no pool, no journal)."""
+
+    def run(self, specs, ctx):
+        _require_no_journal(ctx, self.name)
+        results = run_specs(
+            specs, jobs=1, cache=ctx.cache, group_topologies=ctx.group_topologies
+        )
+        return ExecutionOutcome(results)
+
+
+@register_executor("pool", synonyms=("process-pool", "parallel"))
+class PoolExecutor(Executor):
+    """The topology-grouped process pool (``jobs`` workers)."""
+
+    def run(self, specs, ctx):
+        _require_no_journal(ctx, self.name)
+        results = run_specs(
+            specs,
+            jobs=ctx.jobs,
+            cache=ctx.cache,
+            group_topologies=ctx.group_topologies,
+        )
+        return ExecutionOutcome(results)
+
+
+@register_executor("shard-coordinator", synonyms=("coordinator", "shard"))
+class ShardCoordinatorExecutor(Executor):
+    """Journaled, resumable, straggler-retrying execution of one plan slice.
+
+    The coordinator runs its cells through the same topology-grouped pool as
+    ``pool`` (``jobs`` workers), but additionally
+
+    * streams every finished cell to an append-only JSONL journal
+      (``ctx.journal_dir``) the moment it lands,
+    * resumes from an existing journal (``ctx.resume_dir``): cells already
+      journaled are served without re-running, after checking that the
+      journal's code version and plan fingerprint match (mixing results
+      from two code versions or two different plans is refused), and
+    * re-dispatches cells that timed out, up to ``ctx.retry_timeouts`` times
+      (default once), before reporting them -- a transiently-overloaded
+      worker does not get to decide a cell's fate on its first try.  Resumed
+      timeouts whose journaled ``retries`` budget is not yet exhausted are
+      retried too (a crash between a timeout and its retry must not make the
+      timeout permanent).  Recovered retries supersede their timeout in both
+      the results and the journal.
+    """
+
+    def run(self, specs, ctx):
+        journal: Optional[RunJournal] = None
+        resumed: Dict[str, CompilationResult] = {}
+        if ctx.resume_dir:
+            journal = RunJournal.open(ctx.resume_dir)
+            self._check_resumable(journal.meta, ctx.meta)
+            resumed = journal.results()
+        elif ctx.journal_dir:
+            journal = RunJournal.create(ctx.journal_dir, ctx.meta)
+
+        keys = [cell_key(spec) for spec in specs]
+        skip = {
+            i: resumed[k] for i, k in enumerate(keys) if k in resumed
+        }
+
+        on_result = None
+        if journal is not None:
+            on_result = lambda i, spec, res: journal.append(keys[i], res)  # noqa: E731
+
+        try:
+            results = run_specs(
+                specs,
+                jobs=ctx.jobs,
+                cache=ctx.cache,
+                group_topologies=ctx.group_topologies,
+                skip=skip,
+                on_result=on_result,
+            )
+
+            # Straggler pass: a timeout is wall-clock-dependent (and never
+            # cached), so each one earns its re-dispatches before the report
+            # calls it final.  Deterministic failures (error / unsupported /
+            # skipped) are not retried.  Resumed cells participate too --
+            # a timeout journaled just before a crash would otherwise become
+            # permanent, which is exactly what an uninterrupted run's retry
+            # pass exists to prevent; the ``retries`` marker journaled with
+            # each attempt keeps a resumed run from re-dispatching a cell
+            # beyond its budget.
+            retried = recovered = 0
+            for attempt in range(1, ctx.retry_timeouts + 1):
+                retry_idx = [
+                    i
+                    for i, r in enumerate(results)
+                    if r.status == "timeout"
+                    and (r.extra or {}).get("retries", 0) < attempt
+                ]
+                if not retry_idx:
+                    break
+                retried += len(retry_idx)
+                again = run_specs(
+                    [specs[i] for i in retry_idx],
+                    jobs=min(ctx.jobs, len(retry_idx)),
+                    cache=ctx.cache,
+                    group_topologies=ctx.group_topologies,
+                )
+                for i, result in zip(retry_idx, again):
+                    result.extra = dict(result.extra or {})
+                    result.extra["retries"] = attempt
+                    if result.status != "timeout":
+                        recovered += 1
+                    results[i] = result
+                    if journal is not None:
+                        journal.append(keys[i], result)
+        finally:
+            if journal is not None:
+                journal.close()
+
+        return ExecutionOutcome(
+            results,
+            resumed=len(skip),
+            retried=retried,
+            recovered=recovered,
+            journal_path=str(journal.path) if journal is not None else None,
+        )
+
+    @staticmethod
+    def _check_resumable(
+        journal_meta: Dict[str, object], meta: Dict[str, object]
+    ) -> None:
+        for field_name, what in (("code", "code version"), ("plan", "plan")):
+            want = meta.get(field_name)
+            have = journal_meta.get(field_name)
+            if want is not None and have != want:
+                raise ValueError(
+                    f"cannot resume: journal was written by a different "
+                    f"{what} ({have!r} != {want!r}); re-run from scratch "
+                    "instead of mixing results"
+                )

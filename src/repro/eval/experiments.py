@@ -1,17 +1,18 @@
 """Experiment definitions regenerating every table and figure of Section 7.
 
-Each ``experiment_*`` function returns a list of
-:class:`~repro.eval.metrics.CompilationResult` rows; the module's CLI
-(``python -m repro.eval --experiment all``) renders them as text tables of
-the same shape as the paper's Table 1 and Figures 17-19/27, which is what
-EXPERIMENTS.md records.
+Each experiment is a ``specs_*`` builder registered in the experiment
+registry via :func:`~repro.eval.runs.register_experiment`; the declarative
+run API (:func:`repro.eval.plan` / :func:`repro.eval.execute`) resolves the
+name (synonyms included, unknown names raise with did-you-mean suggestions),
+builds the ordered cell list, optionally slices a deterministic
+``shard=(i, n)`` of it, and dispatches it through a registered executor --
+``serial``, the topology-grouped ``pool``, or the journaling
+``shard-coordinator`` (streamed JSONL journal, crash resume, straggler
+retry).  The module CLI (``python -m repro.eval``) is a thin shell over
+exactly that pair of calls.
 
-Experiments are declared as lists of :class:`~repro.eval.parallel.CellSpec`
-and executed through :func:`~repro.eval.parallel.run_cells`, so every
-experiment transparently supports ``jobs`` (process fan-out, with cells
-grouped by topology so workers build each coupling graph's tables once) and
-``cache`` (incremental re-runs); the CLI exposes both as ``--jobs N`` /
-``--cache DIR``, plus ``--cache-merge DIR...`` to union sharded caches.
+The pre-redesign surface (``experiment_*`` functions, ``run_all``) survives
+as deprecated shims over the same machinery.
 
 Two profiles control instance sizes:
 
@@ -21,7 +22,8 @@ Two profiles control instance sizes:
   stand-in gets a short timeout (it times out beyond ~10 qubits anyway,
   exactly as in the paper).
 * ``paper``  -- the full sweeps of the paper (SABRE up to 1024 qubits).
-  Use ``--jobs``/``--cache`` to spread the cost over cores and re-runs.
+  Use ``--jobs``/``--cache``/``--shard`` to spread the cost over cores,
+  re-runs and machines.
 """
 
 from __future__ import annotations
@@ -29,16 +31,27 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..approaches import approach_names
 from ..arch.registry import architecture_names
+from ..registry import UnknownNameError
 from ..workloads import workload_names
-from .cache import ResultCache
+from .cache import CacheMergeConflict, ResultCache
+from .executors import executor_names
 from .metrics import CompilationResult
 from .parallel import CellSpec, run_cells
-from .tables import format_results, format_series
+from .runs import (
+    EXPERIMENT_REGISTRY,
+    execute,
+    experiment_names,
+    get_experiment,
+    plan,
+    register_experiment,
+)
+from .tables import format_results, format_series, format_table
 
 __all__ = [
     "Profile",
@@ -116,11 +129,25 @@ def _profile(name: str) -> Profile:
     return PAPER if name == "paper" else QUICK
 
 
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.eval.runs)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 # ---------------------------------------------------------------------------
 # E1: Table 1
 # ---------------------------------------------------------------------------
 
 
+@register_experiment(
+    "table1",
+    synonyms=("table-1", "t1"),
+    figure="Table 1",
+    description="Ours vs SATMAP vs SABRE across Sycamore / heavy-hex / lattice",
+)
 def specs_table1(profile: Profile = QUICK) -> List[CellSpec]:
     cells: List[Tuple[str, int]] = []
     cells += [("sycamore", m) for m in profile.table1_sycamore]
@@ -151,8 +178,9 @@ def experiment_table1(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
-    """Ours vs SATMAP vs SABRE across Sycamore / heavy-hex / lattice surgery."""
+    """Deprecated shim: ``execute(plan("table1", profile), ...)``."""
 
+    _deprecated("experiment_table1", 'execute(plan("table1", ...))')
     return run_cells(specs_table1(profile), jobs=jobs, cache=cache)
 
 
@@ -161,6 +189,12 @@ def experiment_table1(
 # ---------------------------------------------------------------------------
 
 
+@register_experiment(
+    "fig17",
+    synonyms=("figure17", "fig-17"),
+    figure="Fig. 17",
+    description="Depth and #SWAP vs qubit count on heavy-hex, ours vs SABRE",
+)
 def specs_figure17(profile: Profile = QUICK) -> List[CellSpec]:
     specs: List[CellSpec] = []
     for groups in profile.fig17_groups:
@@ -179,11 +213,18 @@ def experiment_figure17_heavyhex(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
-    """Depth and #SWAP vs qubit count on heavy-hex, ours vs SABRE (Fig. 17)."""
+    """Deprecated shim: ``execute(plan("fig17", profile), ...)``."""
 
+    _deprecated("experiment_figure17_heavyhex", 'execute(plan("fig17", ...))')
     return run_cells(specs_figure17(profile), jobs=jobs, cache=cache)
 
 
+@register_experiment(
+    "fig18",
+    synonyms=("figure18", "fig-18"),
+    figure="Fig. 18",
+    description="Depth and #SWAP vs qubit count on Sycamore, ours vs SABRE",
+)
 def specs_figure18(profile: Profile = QUICK) -> List[CellSpec]:
     specs: List[CellSpec] = []
     for m in profile.fig18_m:
@@ -200,11 +241,18 @@ def experiment_figure18_sycamore(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
-    """Depth and #SWAP vs qubit count on Sycamore, ours vs SABRE (Fig. 18)."""
+    """Deprecated shim: ``execute(plan("fig18", profile), ...)``."""
 
+    _deprecated("experiment_figure18_sycamore", 'execute(plan("fig18", ...))')
     return run_cells(specs_figure18(profile), jobs=jobs, cache=cache)
 
 
+@register_experiment(
+    "fig19",
+    synonyms=("figure19", "fig-19"),
+    figure="Fig. 19",
+    description="Depth and #SWAP on lattice surgery, ours vs SABRE vs LNN",
+)
 def specs_figure19(profile: Profile = QUICK) -> List[CellSpec]:
     specs: List[CellSpec] = []
     for m in profile.fig19_m:
@@ -222,9 +270,9 @@ def experiment_figure19_lattice(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
-    """Depth and #SWAP vs qubit count on lattice surgery, ours vs SABRE vs LNN
-    (Fig. 19, 100 to 1024 qubits)."""
+    """Deprecated shim: ``execute(plan("fig19", profile), ...)``."""
 
+    _deprecated("experiment_figure19_lattice", 'execute(plan("fig19", ...))')
     return run_cells(specs_figure19(profile), jobs=jobs, cache=cache)
 
 
@@ -240,6 +288,16 @@ def specs_figure27(seeds: Sequence[int] = tuple(range(10)), m: int = 2) -> List[
     ]
 
 
+@register_experiment(
+    "fig27",
+    synonyms=("figure27", "fig-27", "sabre-seeds"),
+    figure="Fig. 27",
+    description="SABRE output variance across random seeds on an m*m grid",
+)
+def _specs_figure27_profile(profile: Profile = QUICK) -> List[CellSpec]:
+    return specs_figure27(profile.fig27_seeds, profile.fig27_m)
+
+
 def experiment_figure27_sabre_randomness(
     seeds: Sequence[int] = tuple(range(10)),
     m: int = 2,
@@ -247,11 +305,14 @@ def experiment_figure27_sabre_randomness(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
-    """SABRE output variance across random seeds on an ``m x m`` grid
-    (Fig. 27).  Direct calls default to the paper's 2x2 grid, as does the
-    CLI's paper profile; the quick profile passes ``fig27_m=6`` so the sweep
-    is substantial enough for ``--jobs`` fan-out to matter."""
+    """Deprecated shim: ``execute(plan("fig27", profile), ...)``.  Direct
+    calls default to the paper's 2x2 grid, as does the plan's paper profile;
+    the quick profile uses ``fig27_m=6`` so the sweep is substantial enough
+    for ``--jobs`` fan-out to matter."""
 
+    _deprecated(
+        "experiment_figure27_sabre_randomness", 'execute(plan("fig27", ...))'
+    )
     return run_cells(specs_figure27(seeds, m), jobs=jobs, cache=cache)
 
 
@@ -274,6 +335,16 @@ def specs_relaxed_vs_strict(
     return specs
 
 
+@register_experiment(
+    "relaxed",
+    synonyms=("relaxed-vs-strict", "ie-ablation"),
+    figure="Sec. 7.3",
+    description="Depth of the unit-based mappers with relaxed vs strict QFT-IE",
+)
+def _specs_relaxed_profile(profile: Profile = QUICK) -> List[CellSpec]:
+    return specs_relaxed_vs_strict()
+
+
 def experiment_relaxed_vs_strict(
     sycamore_m: Sequence[int] = (4, 6, 8),
     lattice_m: Sequence[int] = (6, 8, 10),
@@ -281,8 +352,9 @@ def experiment_relaxed_vs_strict(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
-    """Depth of the unit-based mappers with relaxed vs strict QFT-IE."""
+    """Deprecated shim: ``execute(plan("relaxed", profile), ...)``."""
 
+    _deprecated("experiment_relaxed_vs_strict", 'execute(plan("relaxed", ...))')
     return run_cells(specs_relaxed_vs_strict(sycamore_m, lattice_m), jobs=jobs, cache=cache)
 
 
@@ -300,15 +372,25 @@ def specs_partition_ablation(lattice_m: Sequence[int] = (6, 8, 10, 12)) -> List[
     return specs
 
 
+@register_experiment(
+    "partition",
+    synonyms=("partition-ablation",),
+    figure="Insight 2",
+    description="Unit-based mapping vs LNN-on-a-path vs greedy routing",
+)
+def _specs_partition_profile(profile: Profile = QUICK) -> List[CellSpec]:
+    return specs_partition_ablation()
+
+
 def experiment_partition_ablation(
     lattice_m: Sequence[int] = (6, 8, 10, 12),
     *,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
-    """Unit-based mapping (partitioned) vs LNN-on-a-path vs greedy routing on
-    the FT grid: quantifies what sub-kernel partitioning buys (Insight 2)."""
+    """Deprecated shim: ``execute(plan("partition", profile), ...)``."""
 
+    _deprecated("experiment_partition_ablation", 'execute(plan("partition", ...))')
     return run_cells(specs_partition_ablation(lattice_m), jobs=jobs, cache=cache)
 
 
@@ -317,6 +399,12 @@ def experiment_partition_ablation(
 # ---------------------------------------------------------------------------
 
 
+@register_experiment(
+    "linearity",
+    synonyms=("linear-depth",),
+    figure="Sec. 7.5",
+    description="Depth / N for the analytical mappers over a size sweep",
+)
 def specs_linearity(profile: Profile = QUICK) -> List[CellSpec]:
     specs: List[CellSpec] = []
     for m in profile.linearity_sizes:
@@ -333,9 +421,9 @@ def experiment_linearity(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
-    """Depth / N for the analytical mappers over a size sweep (the paper's
-    linear-depth guarantee: ~5N heavy-hex, ~7N Sycamore, ~5N lattice)."""
+    """Deprecated shim: ``execute(plan("linearity", profile), ...)``."""
 
+    _deprecated("experiment_linearity", 'execute(plan("linearity", ...))')
     return run_cells(specs_linearity(profile), jobs=jobs, cache=cache)
 
 
@@ -382,6 +470,20 @@ def specs_workload_sweep(
     return specs
 
 
+@register_experiment(
+    "sweep",
+    synonyms=("workload-sweep", "cross-product"),
+    figure="registry",
+    description="The full approach x architecture cross-product for one workload",
+    options=("workload",),
+    in_all=False,
+)
+def _specs_sweep_profile(
+    profile: Profile = QUICK, *, workload: str = "qft"
+) -> List[CellSpec]:
+    return specs_workload_sweep(workload, profile)
+
+
 def experiment_workload_sweep(
     workload: str = "qft",
     profile: Profile = QUICK,
@@ -389,34 +491,12 @@ def experiment_workload_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> List[CompilationResult]:
-    """The full approach x architecture cross-product for one workload."""
+    """Deprecated shim: ``execute(plan("sweep", workload=...), ...)``."""
 
+    _deprecated(
+        "experiment_workload_sweep", 'execute(plan("sweep", workload=...))'
+    )
     return run_cells(specs_workload_sweep(workload, profile), jobs=jobs, cache=cache)
-
-
-# ---------------------------------------------------------------------------
-# CLI
-# ---------------------------------------------------------------------------
-
-
-_EXPERIMENTS = {
-    "table1": lambda prof, **kw: experiment_table1(prof, **kw),
-    "fig17": lambda prof, **kw: experiment_figure17_heavyhex(prof, **kw),
-    "fig18": lambda prof, **kw: experiment_figure18_sycamore(prof, **kw),
-    "fig19": lambda prof, **kw: experiment_figure19_lattice(prof, **kw),
-    "fig27": lambda prof, **kw: experiment_figure27_sabre_randomness(
-        prof.fig27_seeds, prof.fig27_m, **kw
-    ),
-    "relaxed": lambda prof, **kw: experiment_relaxed_vs_strict(**kw),
-    "partition": lambda prof, **kw: experiment_partition_ablation(**kw),
-    "linearity": lambda prof, **kw: experiment_linearity(prof, **kw),
-    "sweep": lambda prof, workload="qft", **kw: experiment_workload_sweep(
-        workload, prof, **kw
-    ),
-}
-
-#: experiments included in "-e all" (the paper set; "sweep" is on demand)
-_PAPER_EXPERIMENTS = tuple(n for n in _EXPERIMENTS if n != "sweep")
 
 
 def run_all(
@@ -425,10 +505,53 @@ def run_all(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
 ) -> Dict[str, List[CompilationResult]]:
-    return {
-        name: _EXPERIMENTS[name](profile, jobs=jobs, cache=cache)
-        for name in _PAPER_EXPERIMENTS
-    }
+    """Deprecated shim: plan + execute every ``-e all`` experiment."""
+
+    _deprecated("run_all", "plan()/execute() per experiment")
+    out: Dict[str, List[CompilationResult]] = {}
+    for name in experiment_names(in_all_only=True):
+        report = execute(plan(name, profile), jobs=jobs, cache=cache)
+        out[name] = report.results
+    return out
+
+
+# ---------------------------------------------------------------------------
+# CLI: a thin shell over plan() / execute()
+# ---------------------------------------------------------------------------
+
+
+def _parse_shard(text: str) -> Tuple[int, int]:
+    try:
+        index_s, count_s = text.split("/", 1)
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"shard must look like I/N (e.g. 0/4), got {text!r}"
+        ) from None
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard I/N needs 0 <= I < N, got {text!r}"
+        )
+    return index, count
+
+
+def _experiment_table() -> str:
+    rows = []
+    for name in experiment_names():
+        entry = get_experiment(name)
+        syn = ", ".join(EXPERIMENT_REGISTRY.synonyms(name))
+        rows.append(
+            {
+                "experiment": name,
+                "figure": entry.figure or "-",
+                "synonyms": syn or "-",
+                "in 'all'": "yes" if entry.in_all else "no",
+                "description": entry.description,
+            }
+        )
+    return format_table(
+        rows, ["experiment", "figure", "synonyms", "in 'all'", "description"]
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -439,8 +562,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--experiment",
         "-e",
         action="append",
-        choices=sorted(_EXPERIMENTS) + ["all"],
-        help="experiment(s) to run (default: all)",
+        metavar="NAME",
+        help="experiment(s) to run: any registered name or synonym "
+        f"({', '.join(experiment_names())}), or 'all' (default)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered experiments and exit"
     )
     parser.add_argument(
         "--profile", choices=("quick", "paper"), default="quick", help="size profile"
@@ -460,6 +587,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="worker processes per experiment (cells fan out across cores)",
     )
     parser.add_argument(
+        "--executor",
+        default=None,
+        metavar="NAME",
+        help="execution strategy: one of "
+        f"{', '.join(executor_names())} (default: serial, or pool when "
+        "--jobs > 1, or shard-coordinator when --journal/--resume is given)",
+    )
+    parser.add_argument(
+        "--shard",
+        type=_parse_shard,
+        default=None,
+        metavar="I/N",
+        help="run slice I of a deterministic N-way partition of the plan "
+        "(balanced by topology group); the union of all N slices is the "
+        "full experiment",
+    )
+    parser.add_argument(
+        "--verify",
+        choices=("full", "sample", "off"),
+        default="full",
+        help="per-cell verification policy (sample = deterministic ~25%% "
+        "subset; policy is part of the cache key)",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help="stream per-cell results to an append-only JSONL run journal "
+        "in DIR (implies the shard-coordinator executor)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="DIR",
+        default=None,
+        help="resume a crashed run from its journal in DIR: cells already "
+        "journaled are served, everything else runs (same code version and "
+        "plan required)",
+    )
+    parser.add_argument(
         "--cache",
         metavar="DIR",
         default=None,
@@ -472,13 +638,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         nargs="+",
         default=None,
         help="merge the given cache directories into --cache (union of "
-        "sharded sweeps) and exit unless experiments are also requested",
+        "sharded sweeps; conflicting entries raise) and exit unless "
+        "experiments are also requested",
     )
     args = parser.parse_args(argv)
 
+    if args.list:
+        print(_experiment_table())
+        return 0
     if args.jobs < 1:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
-    profile = _profile(args.profile)
     try:
         cache = ResultCache(args.cache) if args.cache else None
     except OSError as exc:
@@ -491,31 +660,62 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 stats = cache.merge(src)
             except FileNotFoundError as exc:
                 parser.error(str(exc))
+            except CacheMergeConflict as exc:
+                parser.error(f"cache merge conflict: {exc}")
             print(
                 f"merged {src}: {stats['imported']} imported, "
                 f"{stats['skipped']} already present, {stats['invalid']} invalid"
             )
         if not args.experiment:
             return 0
+
     wanted = args.experiment or (["sweep"] if args.workload else ["all"])
     if "all" in wanted:
-        wanted = sorted(_PAPER_EXPERIMENTS)
+        wanted = list(experiment_names(in_all_only=True))
+    try:
+        wanted = [get_experiment(name).name for name in wanted]
+    except UnknownNameError as exc:
+        parser.error(str(exc))
     if args.workload and any(name != "sweep" for name in wanted):
         parser.error(
             "--workload only applies to the 'sweep' experiment; the figure "
             "experiments reproduce the paper's QFT results"
         )
+    if (args.journal or args.resume) and len(wanted) != 1:
+        parser.error("--journal/--resume apply to exactly one experiment")
+    if args.journal and args.resume:
+        parser.error("pass either --journal (fresh run) or --resume, not both")
 
     for name in wanted:
-        print(f"\n=== {name} (profile: {profile.name}) ===")
-        extra = {"workload": args.workload or "qft"} if name == "sweep" else {}
-        results = _EXPERIMENTS[name](profile, jobs=args.jobs, cache=cache, **extra)
-        print(format_results(results))
+        options = {"workload": args.workload or "qft"} if name == "sweep" else {}
+        run_plan = plan(
+            name,
+            args.profile,
+            shard=args.shard,
+            verify=args.verify,
+            **options,
+        )
+        print(f"\n=== {run_plan.describe()} ===")
+        try:
+            report = execute(
+                run_plan,
+                executor=args.executor,
+                jobs=args.jobs,
+                cache=cache,
+                journal=args.journal,
+                resume=args.resume,
+            )
+        except UnknownNameError as exc:
+            parser.error(str(exc))
+        except (FileExistsError, FileNotFoundError, ValueError) as exc:
+            parser.error(str(exc))
+        print(format_results(report.results))
         if name in ("fig17", "fig18", "fig19"):
             print("\ndepth series:")
-            print(format_series(results, "depth"))
+            print(format_series(report.results, "depth"))
             print("swap series:")
-            print(format_series(results, "swap_count"))
+            print(format_series(report.results, "swap_count"))
+        print(report.summary())
     if cache is not None:
         stats = cache.stats()
         print(f"\ncache: {stats['hits']} hits, {stats['misses']} misses")

@@ -1,0 +1,176 @@
+"""Append-only JSONL run journal: streaming results, crash-safe resume.
+
+A *journal* is the durable record of one evaluation run: a directory holding
+``journal.jsonl`` whose first line is the run's metadata (code version, plan
+fingerprint, experiment/shard identity) and every following line is one
+finished cell, written the moment the harness receives it.  Because lines are
+appended and flushed per cell, a run killed at any point leaves a journal
+whose intact prefix is exactly the set of finished cells -- the
+``shard-coordinator`` executor resumes from it by serving journaled cells
+without re-running them (a truncated final line from a mid-write crash is
+ignored, not fatal).
+
+Cells are identified by :func:`cell_key`, a content hash over every field of
+the :class:`~repro.eval.parallel.CellSpec` (including the verification
+policy).  The key deliberately excludes the code version: that lives once in
+the metadata line, and resuming under a different code version is refused
+outright rather than silently mixing results from two algorithms.
+
+A cell may appear more than once (the coordinator re-dispatches straggler
+cells and journals the second attempt too); :meth:`RunJournal.results` keeps
+the *last* entry per key, so a recovered retry supersedes its timeout.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import IO, Dict, Optional, Tuple
+
+from .metrics import CompilationResult
+
+__all__ = ["cell_key", "RunJournal"]
+
+JOURNAL_FILENAME = "journal.jsonl"
+
+
+def cell_key(spec) -> str:
+    """Deterministic content hash identifying one cell spec (24 hex chars).
+
+    Covers every field that changes what the cell computes -- approach, kind,
+    size, options, rename, timeout budget, workload (+params) and the
+    verification policy -- mirroring :meth:`ResultCache.key` minus the code
+    version (which the journal records once, in its metadata line).
+    """
+
+    payload = json.dumps(
+        {
+            "approach": spec.approach,
+            "kind": spec.kind,
+            "size": spec.size,
+            "kwargs": sorted((str(k), repr(v)) for k, v in spec.kwargs),
+            "rename": spec.rename,
+            "timeout_s": spec.timeout_s,
+            "workload": spec.workload,
+            "workload_params": sorted(
+                (str(k), repr(v)) for k, v in spec.workload_params
+            ),
+            "verify": spec.verify,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
+
+
+class RunJournal:
+    """One run's append-only JSONL journal rooted at a directory.
+
+    Use :meth:`create` to start a fresh journal (refuses to clobber an
+    existing one) and :meth:`open` to load one for resumption.  ``append``
+    flushes per line, so the journal is current the moment a cell lands.
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        meta: Dict[str, object],
+        entries: Dict[str, CompilationResult],
+        handle: Optional[IO[str]],
+    ) -> None:
+        self.root = root
+        self.meta = meta
+        self._entries = entries
+        self._handle = handle
+
+    @property
+    def path(self) -> Path:
+        return self.root / JOURNAL_FILENAME
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, root: os.PathLike, meta: Dict[str, object]) -> "RunJournal":
+        """Start a fresh journal at ``root`` (raises if one already exists)."""
+
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / JOURNAL_FILENAME
+        if path.exists():
+            raise FileExistsError(
+                f"journal {path} already exists; resume from it (resume=...) "
+                "or choose a fresh directory"
+            )
+        handle = path.open("w", encoding="utf-8")
+        handle.write(json.dumps({"type": "meta", **meta}, sort_keys=True) + "\n")
+        handle.flush()
+        return cls(root, dict(meta), {}, handle)
+
+    @classmethod
+    def open(cls, root: os.PathLike) -> "RunJournal":
+        """Load an existing journal for resumption (appends go to the end).
+
+        Unparseable lines -- the torn final line of a run killed mid-write --
+        are skipped; everything before them is served.
+        """
+
+        root = Path(root)
+        path = root / JOURNAL_FILENAME
+        if not path.is_file():
+            raise FileNotFoundError(f"no journal at {path}")
+        meta: Dict[str, object] = {}
+        entries: Dict[str, CompilationResult] = {}
+        raw = path.read_text(encoding="utf-8")
+        for i, line in enumerate(raw.splitlines()):
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn write from a crash: ignore the tail
+            if i == 0 and record.get("type") == "meta":
+                meta = {k: v for k, v in record.items() if k != "type"}
+                continue
+            if record.get("type") != "cell":
+                continue
+            try:
+                result = CompilationResult.from_dict(record["result"])
+            except (KeyError, TypeError, ValueError):
+                continue
+            entries[record["key"]] = result
+        handle = path.open("a", encoding="utf-8")
+        if raw and not raw.endswith("\n"):
+            # Terminate the torn final line of a crashed run, so the first
+            # post-resume append starts a fresh line instead of gluing itself
+            # onto the unparseable tail (and being lost with it on reload).
+            handle.write("\n")
+            handle.flush()
+        return cls(root, meta, entries, handle)
+
+    # ------------------------------------------------------------------
+    def append(self, key: str, result: CompilationResult) -> None:
+        """Journal one finished cell (flushed immediately)."""
+
+        if self._handle is None:
+            raise ValueError("journal is closed")
+        record = {"type": "cell", "key": key, "result": result.to_dict()}
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        self._entries[key] = result
+
+    def results(self) -> Dict[str, CompilationResult]:
+        """Journaled results by cell key (last entry wins per key)."""
+
+        return dict(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":  # pragma: no cover - convenience
+        return self
+
+    def __exit__(self, *exc) -> None:  # pragma: no cover - convenience
+        self.close()

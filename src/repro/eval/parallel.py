@@ -1,41 +1,29 @@
-"""Parallel, cache-aware, topology-grouped execution of evaluation cells.
+"""Cell specs and the classic ``run_cells`` entry point.
 
-The experiment definitions in :mod:`repro.eval.experiments` describe *what*
-to run as lists of :class:`CellSpec`; this module decides *how*: serially or
-fanned out over a process pool (compilation is CPU-bound pure Python, so
-threads would not help), with an optional
-:class:`~repro.eval.cache.ResultCache` consulted first so warm re-runs cost
-milliseconds per cell.
-
-Topology grouping
------------------
-Cells that target the same coupling graph (same canonical architecture kind
-and size, see :func:`~repro.eval.runners.architecture_key`) are dispatched to
-workers as whole chunks, and every worker resolves its topologies through the
-process-local memo in :mod:`repro.eval.runners` -- so the Topology object,
-its all-pairs distance matrix and the SABRE routing tables are built once per
-(worker, topology) rather than once per cell.  On fork-based platforms the
-parent additionally prewarms each distinct topology before spawning the pool,
-so workers inherit the tables copy-on-write and build nothing at all.
-
-Results come back in spec order regardless of ``jobs`` or grouping, and every
-cell is deterministic given its spec, so neither ``--jobs N`` nor the
-grouping ever changes the metrics -- only the wall-clock time (a property the
-test suite asserts).
+This module used to hold the whole parallel execution engine; since the run
+API redesign the engine lives in :mod:`repro.eval.executors` (as the
+``serial`` / ``pool`` executors plus the journaling ``shard-coordinator``),
+and :mod:`repro.eval.runs` provides the declarative layer on top
+(``plan()`` / ``execute()`` over registered experiments).  What remains here
+is the spec type itself and :func:`run_cells`, reimplemented as a thin shim
+over the executor engine so the long-standing call sites -- experiment shims,
+benchmarks, tests -- keep exactly their old contract: results in spec order,
+identical metrics at any ``jobs``, cache hits served without running
+anything.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache
 from .metrics import CompilationResult
-from .runners import architecture_key, cached_topology, prepare_topology, run_cell
 
 __all__ = ["CellSpec", "run_cells"]
+
+#: recognised per-cell verification policies (see ``run_cell``)
+VERIFY_POLICIES = ("full", "sample", "off")
 
 
 @dataclass(frozen=True)
@@ -46,12 +34,17 @@ class CellSpec:
     picklable (process-pool workers receive the spec itself).  ``rename``
     optionally overrides the reported approach label, e.g. ``sabre-seed3``
     for the Fig. 27 seed sweep.  ``timeout_s`` is the harness-enforced
-    per-cell budget: :func:`run_cells` reports cells that exceed it as
+    per-cell budget: the executors report cells that exceed it as
     ``status == "timeout"`` results (the paper's TLE) instead of leaving
     wall-clock checks to the approaches themselves.  ``workload`` names the
     registered circuit family the cell compiles (default the paper's QFT
     kernel); ``workload_params`` are its build parameters, stored sorted for
-    the same hashability reason as ``kwargs``.
+    the same hashability reason as ``kwargs``.  ``verify`` is the cell's
+    verification policy -- ``"full"`` (every check, the default),
+    ``"sample"`` (deterministic per-cell subsample; the full-Python verify
+    pass dominates non-mapping cost at 1024 qubits) or ``"off"`` -- and is
+    part of the cache key, so results always record which policy produced
+    them.
     """
 
     approach: str
@@ -62,6 +55,7 @@ class CellSpec:
     timeout_s: Optional[float] = None
     workload: str = "qft"
     workload_params: Tuple[Tuple[str, object], ...] = ()
+    verify: str = "full"
 
     @classmethod
     def make(
@@ -74,8 +68,13 @@ class CellSpec:
         timeout_s: Optional[float] = None,
         workload: str = "qft",
         workload_params: Optional[Dict[str, object]] = None,
+        verify: str = "full",
         **kwargs: object,
     ) -> "CellSpec":
+        if verify not in VERIFY_POLICIES:
+            raise ValueError(
+                f"unknown verify policy {verify!r} (one of {VERIFY_POLICIES})"
+            )
         return cls(
             approach,
             kind,
@@ -85,72 +84,8 @@ class CellSpec:
             timeout_s,
             workload,
             tuple(sorted((workload_params or {}).items())),
+            verify,
         )
-
-
-def _run_spec(spec: CellSpec) -> CompilationResult:
-    topology = cached_topology(spec.kind, spec.size)  # None -> per-cell error
-    result = run_cell(
-        spec.approach,
-        spec.kind,
-        spec.size,
-        workload=spec.workload,
-        workload_params=dict(spec.workload_params),
-        topology=topology,
-        timeout_s=spec.timeout_s,
-        **dict(spec.kwargs),
-    )
-    if spec.rename is not None:
-        result.approach = spec.rename
-    return result
-
-
-def _run_chunk(
-    specs: Sequence[CellSpec],
-) -> Tuple[List[CompilationResult], Optional[Exception]]:
-    """Worker-side entry point: run a same-topology chunk of cells in order.
-
-    Returns the results plus the first raised exception (if any), so the
-    parent can record -- and cache -- the cells that *did* finish before
-    re-raising; with one task per chunk, a plain raise would otherwise
-    discard every completed result in the chunk.  Only ``Exception`` is
-    forwarded: KeyboardInterrupt/SystemExit must keep killing the worker
-    promptly rather than ride along as a value.
-    """
-
-    results: List[CompilationResult] = []
-    for spec in specs:
-        try:
-            results.append(_run_spec(spec))
-        except Exception as exc:
-            return results, exc
-    return results, None
-
-
-def _topology_chunks(
-    specs: Sequence[CellSpec], todo: Sequence[int], jobs: int
-) -> List[List[int]]:
-    """Partition ``todo`` into same-topology chunks for pool dispatch.
-
-    Each topology group is split into at most ``jobs`` chunks, so a sweep
-    dominated by one topology (e.g. a seed sweep) still saturates the pool
-    while cells sharing a topology land on as few workers as possible.
-    """
-
-    groups: Dict[Tuple[str, int], List[int]] = {}
-    for i in todo:
-        groups.setdefault(architecture_key(specs[i].kind, specs[i].size), []).append(i)
-
-    chunks: List[List[int]] = []
-    for members in groups.values():
-        parts = min(jobs, len(members))
-        base, extra = divmod(len(members), parts)
-        start = 0
-        for p in range(parts):
-            size = base + (1 if p < extra else 0)
-            chunks.append(members[start : start + size])
-            start += size
-    return chunks
 
 
 def run_cells(
@@ -166,80 +101,23 @@ def run_cells(
     are stored on the way out; only the misses are distributed to workers.
     ``group_topologies=False`` disables the same-topology chunking (one task
     per cell, as before); results are identical either way.
+
+    This is now a shim over :func:`repro.eval.executors.run_specs` (the
+    engine behind the ``serial`` and ``pool`` executors); prefer
+    ``repro.eval.runs.plan()`` / ``execute()`` for new code, which add shard
+    partitioning, journaling/resume and typed run reports on top.
     """
 
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    from .executors import run_specs  # deferred: executors imports CellSpec
 
-    results: List[Optional[CompilationResult]] = [None] * len(specs)
-    keys: Dict[int, str] = {}
-    todo: List[int] = []
-    for i, spec in enumerate(specs):
-        if cache is not None:
-            keys[i] = cache.key(
-                spec.approach,
-                spec.kind,
-                spec.size,
-                spec.kwargs,
-                spec.rename,
-                spec.timeout_s,
-                spec.workload,
-                spec.workload_params,
-            )
-            hit = cache.get(keys[i])
-            if hit is not None:
-                results[i] = hit
-                continue
-        todo.append(i)
+    return run_specs(
+        specs, jobs=jobs, cache=cache, group_topologies=group_topologies
+    )
 
-    def record(i: int, result: CompilationResult) -> None:
-        results[i] = result
-        # Timeouts are wall-clock-dependent, not deterministic per spec --
-        # caching one would serve a one-off slow run forever.  Unsupported
-        # cells are never cached either: the refusal is cheap to recompute
-        # and a registry/plugin change (a specialist gaining a workload)
-        # must take effect without a cache flush.  Everything else
-        # (ok / skipped / error) is a pure function of the spec.
-        if cache is not None and result.status not in ("timeout", "unsupported"):
-            cache.put(keys[i], result)
 
-    if jobs > 1 and len(todo) > 1:
-        # Warm each distinct topology (+ distance matrix + SABRE tables) in
-        # the parent first, where fork-based pools share them copy-on-write.
-        # Under spawn (macOS/Windows default) workers inherit nothing, so the
-        # parent-side work would be pure waste -- each worker's own memo
-        # still builds everything once per (worker, topology) there.
-        if multiprocessing.get_start_method() == "fork":
-            seen = set()
-            for i in todo:
-                key = architecture_key(specs[i].kind, specs[i].size)
-                if key not in seen:
-                    seen.add(key)
-                    prepare_topology(specs[i].kind, specs[i].size)
-        if group_topologies:
-            chunks = _topology_chunks(specs, todo, jobs)
-        else:
-            chunks = [[i] for i in todo]
-        # Record each chunk's finished cells as it completes -- including the
-        # prefix of a chunk whose later cell crashed (the worker forwards the
-        # exception instead of raising) -- so a mid-sweep failure (worker
-        # OOM, Ctrl-C, one bad cell) does not discard hours of finished work.
-        with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-            futures = {
-                pool.submit(_run_chunk, [specs[i] for i in chunk]): chunk
-                for chunk in chunks
-            }
-            failure: Optional[Exception] = None
-            for fut in as_completed(futures):
-                chunk_results, exc = fut.result()
-                for i, result in zip(futures[fut], chunk_results):
-                    record(i, result)
-                if exc is not None and failure is None:
-                    failure = exc
-            if failure is not None:
-                raise failure
-    else:
-        for i in todo:
-            record(i, _run_spec(specs[i]))
+def _topology_chunks(specs, todo, jobs):
+    """Deprecated alias for :func:`repro.eval.executors._topology_chunks`."""
 
-    return results  # type: ignore[return-value]  # every slot is filled above
+    from .executors import _topology_chunks as impl
+
+    return impl(specs, todo, jobs)

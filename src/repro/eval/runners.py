@@ -20,7 +20,8 @@ did-you-mean suggestions: those are caller bugs, not per-cell failures.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import hashlib
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from ..approaches import APPROACH_REGISTRY, get_approach
 from ..arch.registry import (
@@ -39,6 +40,7 @@ from .metrics import CompilationResult
 __all__ = [
     "make_architecture",
     "run_cell",
+    "sample_verifies",
     "architecture_label",
     "architecture_key",
     "cached_topology",
@@ -101,6 +103,35 @@ def prepare_topology(kind: str, size: int) -> Optional[Topology]:
     return topo
 
 
+#: fraction of cells (per 256) the "sample" verification policy verifies
+_SAMPLE_VERIFY_THRESHOLD = 64  # 25%
+
+
+def sample_verifies(
+    approach: str,
+    kind: str,
+    size: int,
+    workload: str = "qft",
+    params: Iterable[Tuple[str, object]] = (),
+) -> bool:
+    """Deterministic per-cell decision for the ``"sample"`` verify policy.
+
+    A stable content hash of the cell identity selects ~25% of cells, so a
+    sampled sweep verifies the same cells on every machine and every re-run
+    (results stay cacheable), while the full-Python verify pass -- the
+    dominant non-mapping cost at 1024 qubits -- is paid only on the sample.
+    ``params`` carries the cell's remaining identity (approach options like
+    the SABRE seed, workload parameters): without it, every cell of a
+    single-topology seed sweep would share one all-or-nothing decision.
+    """
+
+    tail = ";".join(f"{k}={v!r}" for k, v in sorted((str(k), v) for k, v in params))
+    digest = hashlib.sha256(
+        f"{approach}|{kind}|{size}|{workload}|{tail}".encode()
+    ).digest()
+    return digest[0] < _SAMPLE_VERIFY_THRESHOLD
+
+
 def run_cell(
     approach: str,
     kind: str,
@@ -108,13 +139,22 @@ def run_cell(
     *,
     workload: str = "qft",
     workload_params: Optional[Dict[str, object]] = None,
-    verify: bool = True,
+    verify: Union[bool, str] = True,
     max_qubits: Optional[int] = None,
     timeout_s: Optional[float] = None,
     topology: Optional[Topology] = None,
     **kwargs,
 ) -> CompilationResult:
     """Compile one workload with one approach on one architecture instance.
+
+    ``verify`` is the verification policy: ``"full"`` (or ``True``, the
+    default) runs every check, ``"off"`` (or ``False``) none, and
+    ``"sample"`` a deterministic ~25% subsample of cells (see
+    :func:`sample_verifies`) -- the full-Python verify pass is the dominant
+    non-mapping cost at 1024 qubits, and a sampled sweep still catches a
+    broken mapper while paying it on a quarter of the cells.  Non-default
+    policies are recorded in the result's ``extra["verify_policy"]`` (and
+    are part of the harness cache key).
 
     ``max_qubits`` marks the cell as "skipped" (instead of running for hours)
     when the instance exceeds the harness cap for that approach -- this is how
@@ -143,6 +183,21 @@ def run_cell(
     label = architecture_label(kind, size)
     get_approach(approach)  # unknown approach: caller bug, raises with hints
     wl = get_workload(workload)  # unknown workload: likewise
+    policy = {True: "full", False: "off"}.get(verify, verify)
+    if policy not in ("full", "sample", "off"):
+        raise ValueError(
+            f"unknown verify policy {verify!r} (one of 'full', 'sample', 'off')"
+        )
+    if policy == "sample":
+        do_verify = sample_verifies(
+            approach,
+            kind,
+            size,
+            workload,
+            params=[*kwargs.items(), *(workload_params or {}).items()],
+        )
+    else:
+        do_verify = policy == "full"
     if topology is None:
         ARCHITECTURES.get(kind)  # unknown kind: caller bug, raises with hints
         try:
@@ -164,11 +219,13 @@ def run_cell(
         architecture=topology,
         approach=approach,
         workload_params=workload_params,
-        verify=verify,
+        verify=do_verify,
         timeout_s=timeout_s,
         max_qubits=max_qubits,
         **kwargs,
     )
     row = result.metrics()
     row.architecture = label  # paper-style label, not the topology's name
+    if policy != "full":
+        row.extra["verify_policy"] = policy
     return row

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.eval import CompilationResult, ResultCache, code_version
+from repro.eval import CacheMergeConflict, CompilationResult, ResultCache, code_version
 from repro.eval.parallel import CellSpec, run_cells
 
 
@@ -153,6 +153,33 @@ class TestCacheMerge:
         merged = ResultCache(tmp_path / "merged")
         stats = merged.merge(shard_a.root)
         assert stats["imported"] == 2 and stats["invalid"] == 1
+
+    def test_merge_conflict_raises_instead_of_keeping_first(self, tmp_path):
+        # Two caches storing *different metrics* under the same key means one
+        # of them is corrupt; the merge must refuse, not pick by order.
+        a = ResultCache(tmp_path / "a", version="v1")
+        b = ResultCache(tmp_path / "b", version="v1")
+        key = a.key("sabre", "grid", 2, ())
+        a.put(key, CompilationResult("sabre", "Grid 2*2", 4, depth=9, swap_count=2))
+        b.put(key, CompilationResult("sabre", "Grid 2*2", 4, depth=99, swap_count=2))
+        dest = ResultCache(tmp_path / "dest", version="v1")
+        dest.merge(a.root)
+        with pytest.raises(CacheMergeConflict, match="depth"):
+            dest.merge(b.root)
+
+    def test_merge_tolerates_wall_clock_differences(self, tmp_path):
+        # compile_time_s is machine/run-dependent, not part of the cell's
+        # deterministic identity: two shards that both computed the same cell
+        # must merge cleanly.
+        a = ResultCache(tmp_path / "a", version="v1")
+        b = ResultCache(tmp_path / "b", version="v1")
+        key = a.key("sabre", "grid", 2, ())
+        a.put(key, CompilationResult("sabre", "Grid 2*2", 4, depth=9, compile_time_s=0.5))
+        b.put(key, CompilationResult("sabre", "Grid 2*2", 4, depth=9, compile_time_s=1.5))
+        dest = ResultCache(tmp_path / "dest", version="v1")
+        dest.merge(a.root)
+        stats = dest.merge(b.root)
+        assert stats == {"imported": 0, "skipped": 1, "invalid": 0}
 
     def test_merge_missing_directory_raises(self, tmp_path):
         cache = ResultCache(tmp_path / "dest")

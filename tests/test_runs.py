@@ -1,0 +1,460 @@
+"""Tests for the declarative run API (repro.eval.runs / executors / journal)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.eval import (
+    CellSpec,
+    ExecutionContext,
+    RunJournal,
+    adhoc_plan,
+    cell_key,
+    execute,
+    executor_names,
+    experiment_names,
+    get_executor,
+    get_experiment,
+    partition_cells,
+    plan,
+    run_cell,
+    sample_verifies,
+)
+from repro.eval.cache import ResultCache
+from repro.eval.experiments import QUICK, main
+from repro.eval.metrics import CompilationResult
+from repro.registry import UnknownNameError
+
+
+def _metrics(results):
+    return [
+        (r.approach, r.architecture, r.status, r.depth, r.swap_count, r.verified)
+        for r in results
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Experiment registry
+# ---------------------------------------------------------------------------
+
+
+class TestExperimentRegistry:
+    def test_builtin_experiments_registered(self):
+        names = experiment_names()
+        for expected in (
+            "table1", "fig17", "fig18", "fig19", "fig27",
+            "relaxed", "partition", "linearity", "sweep",
+        ):
+            assert expected in names
+
+    def test_synonyms_resolve(self):
+        assert get_experiment("figure27").name == "fig27"
+        assert get_experiment("t1").name == "table1"
+        assert get_experiment("workload-sweep").name == "sweep"
+
+    def test_unknown_experiment_suggests(self):
+        with pytest.raises(UnknownNameError, match="did you mean"):
+            plan("fig172")
+
+    def test_entries_carry_figure_anchor(self):
+        assert get_experiment("table1").figure == "Table 1"
+        assert get_experiment("fig27").figure == "Fig. 27"
+
+    def test_sweep_excluded_from_all(self):
+        assert "sweep" not in experiment_names(in_all_only=True)
+        assert not get_experiment("sweep").in_all
+
+    def test_unknown_option_rejected(self):
+        with pytest.raises(ValueError, match="workload"):
+            plan("fig17", workload="qaoa")
+
+    def test_sweep_accepts_workload_option(self):
+        p = plan("sweep", workload="qaoa")
+        assert all(c.workload == "qaoa" for c in p.cells)
+
+    def test_registry_direct_import_registers_builtins(self):
+        # plan() must work without an explicit `import repro.eval.experiments`
+        from repro.eval import runs
+
+        assert runs.get_experiment("fig17").name == "fig17"
+
+
+# ---------------------------------------------------------------------------
+# Plans + sharding
+# ---------------------------------------------------------------------------
+
+
+class TestRunPlan:
+    def test_plan_matches_specs_builder(self):
+        from repro.eval.experiments import specs_table1
+
+        p = plan("table1")
+        assert list(p.cells) == specs_table1(QUICK)
+        assert p.total_cells == len(p.cells)
+        assert p.profile == "quick" and p.shard is None
+
+    def test_plan_is_picklable_and_fingerprint_stable(self):
+        p = plan("fig27", "paper", shard=(1, 2))
+        clone = pickle.loads(pickle.dumps(p))
+        assert clone == p
+        assert clone.fingerprint() == p.fingerprint()
+
+    def test_fingerprint_depends_on_identity(self):
+        assert plan("fig27").fingerprint() != plan("fig17").fingerprint()
+        assert plan("fig27").fingerprint() != plan("fig27", "paper").fingerprint()
+        assert (
+            plan("fig27", shard=(0, 2)).fingerprint()
+            != plan("fig27", shard=(1, 2)).fingerprint()
+        )
+        assert (
+            plan("fig27", verify="off").fingerprint() != plan("fig27").fingerprint()
+        )
+
+    def test_verify_policy_applied_to_every_cell(self):
+        p = plan("fig17", verify="off")
+        assert all(c.verify == "off" for c in p.cells)
+        assert plan("fig17").cells[0].verify == "full"
+
+    def test_invalid_verify_policy(self):
+        with pytest.raises(ValueError, match="verify policy"):
+            plan("fig17", verify="some")
+
+    def test_invalid_shard(self):
+        for bad in ((2, 2), (-1, 2), (0, 0)):
+            with pytest.raises(ValueError):
+                plan("fig17", shard=bad)
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 7])
+    def test_shard_union_equals_unsharded_plan(self, n):
+        full = plan("table1")
+        shards = [plan("table1", shard=(i, n)) for i in range(n)]
+        union = sorted(cell_key(c) for s in shards for c in s.cells)
+        assert union == sorted(cell_key(c) for c in full.cells)
+        # disjoint, and each shard records the full plan's size
+        assert sum(len(s.cells) for s in shards) == len(full.cells)
+        assert all(s.total_cells == len(full.cells) for s in shards)
+
+    def test_shards_are_deterministic(self):
+        a = plan("fig19", shard=(0, 3))
+        b = plan("fig19", shard=(0, 3))
+        assert a.cells == b.cells
+
+    def test_shards_balanced_and_split_big_topology_groups(self):
+        # fig27 is one single topology group (a seed sweep): a partition that
+        # never split groups would put all 10 cells on shard 0.
+        sizes = [len(plan("fig27", shard=(i, 2)).cells) for i in range(2)]
+        assert sorted(sizes) == [5, 5]
+
+    def test_partition_cells_preserves_relative_order(self):
+        cells = [CellSpec.make("sabre", "grid", 2, seed=s) for s in range(6)]
+        for shard in partition_cells(cells, 3):
+            assert list(shard) == sorted(shard)
+
+    def test_adhoc_plan_wraps_cells(self):
+        cells = [CellSpec.make("sabre", "grid", 2, seed=0)]
+        p = adhoc_plan("bench", cells)
+        assert p.experiment == "bench" and p.cells == tuple(cells)
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+
+
+class TestExecutors:
+    def test_builtin_executors_registered(self):
+        assert set(executor_names()) >= {"serial", "pool", "shard-coordinator"}
+        assert get_executor("coordinator").name == "shard-coordinator"
+
+    def test_unknown_executor_suggests(self):
+        p = adhoc_plan("x", [CellSpec.make("sabre", "grid", 2)])
+        with pytest.raises(UnknownNameError, match="did you mean"):
+            execute(p, executor="serail")
+
+    def test_serial_and_pool_agree(self):
+        p = plan("fig27")
+        serial = execute(p, executor="serial")
+        pool = execute(p, executor="pool", jobs=2)
+        assert _metrics(serial.results) == _metrics(pool.results)
+        assert serial.executor == "serial" and pool.executor == "pool"
+
+    def test_default_executor_choice(self):
+        p = adhoc_plan("x", [CellSpec.make("sabre", "grid", 2)])
+        assert execute(p).executor == "serial"
+        assert execute(p, jobs=2).executor == "pool"
+
+    def test_report_counts_and_json(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        specs = [
+            CellSpec.make("sabre", "grid", 2, seed=0),
+            CellSpec.make("sabre", "lattice", 10, max_qubits=50),  # skipped
+        ]
+        report = execute(adhoc_plan("mix", specs), cache=cache)
+        assert report.status_counts == {"ok": 1, "skipped": 1}
+        assert report.ok
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["cells"] == 2 and data["cache_stats"]["misses"] == 2
+        slim = report.to_dict(include_results=False)
+        assert "results" not in slim
+
+    def test_serial_executor_refuses_journal(self, tmp_path):
+        p = adhoc_plan("x", [CellSpec.make("sabre", "grid", 2)])
+        with pytest.raises(ValueError, match="shard-coordinator"):
+            execute(p, executor="serial", journal=str(tmp_path / "j"))
+
+
+# ---------------------------------------------------------------------------
+# Journal + resume + straggler retry
+# ---------------------------------------------------------------------------
+
+
+class TestJournalResume:
+    def _plan(self, seeds=(0, 1, 2, 3)):
+        return adhoc_plan(
+            "mini", [CellSpec.make("sabre", "grid", 2, seed=s) for s in seeds]
+        )
+
+    def test_journal_streams_every_cell(self, tmp_path):
+        p = self._plan()
+        report = execute(p, journal=str(tmp_path / "j"))
+        assert report.executor == "shard-coordinator"
+        journal = RunJournal.open(tmp_path / "j")
+        assert len(journal) == len(p.cells)
+        assert journal.meta["plan"] == p.fingerprint()
+        journal.close()
+
+    def test_fresh_journal_refuses_to_clobber(self, tmp_path):
+        p = self._plan()
+        execute(p, journal=str(tmp_path / "j"))
+        with pytest.raises(FileExistsError):
+            execute(p, journal=str(tmp_path / "j"))
+
+    def test_resume_after_crash_matches_clean_run(self, tmp_path):
+        p = self._plan()
+        clean = execute(p, journal=str(tmp_path / "clean"))
+
+        # Simulate a crash: meta + first two cells survive, plus a torn line.
+        lines = (tmp_path / "clean" / "journal.jsonl").read_text().splitlines(True)
+        crash = tmp_path / "crash"
+        crash.mkdir()
+        (crash / "journal.jsonl").write_text("".join(lines[:3]) + '{"torn')
+
+        resumed = execute(p, resume=str(crash))
+        assert _metrics(resumed.results) == _metrics(clean.results)
+        assert resumed.resumed == 2
+        # the journal now holds the full run again
+        journal = RunJournal.open(crash)
+        assert len(journal) == len(p.cells)
+        journal.close()
+
+    def test_resume_refuses_other_plan(self, tmp_path):
+        execute(self._plan(), journal=str(tmp_path / "j"))
+        with pytest.raises(ValueError, match="different plan"):
+            execute(self._plan(seeds=(7, 8)), resume=str(tmp_path / "j"))
+
+    def test_resume_refuses_other_code_version(self, tmp_path):
+        p = self._plan()
+        execute(p, journal=str(tmp_path / "j"))
+        path = tmp_path / "j" / "journal.jsonl"
+        lines = path.read_text().splitlines(True)
+        meta = json.loads(lines[0])
+        meta["code"] = "deadbeefcafe"
+        path.write_text(json.dumps(meta) + "\n" + "".join(lines[1:]))
+        with pytest.raises(ValueError, match="code version"):
+            execute(p, resume=str(tmp_path / "j"))
+
+    def test_resume_missing_journal_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            execute(self._plan(), resume=str(tmp_path / "nope"))
+
+    def test_straggler_timeout_retried_once_and_accounted(self):
+        p = adhoc_plan(
+            "slow", [CellSpec.make("satmap", "sycamore", 4, timeout_s=0.2)]
+        )
+        report = execute(p, executor="shard-coordinator")
+        assert report.status_counts == {"timeout": 1}
+        assert report.retried == 1 and report.recovered == 0
+        assert report.results[0].extra.get("retries") == 1
+
+    def test_straggler_recovery_accounted(self, monkeypatch):
+        from repro.eval import executors as ex
+
+        calls = {"n": 0}
+
+        def flaky_run_cell(approach, kind, size, **kwargs):
+            calls["n"] += 1
+            status = "timeout" if calls["n"] == 1 else "ok"
+            return CompilationResult(
+                approach, f"{kind} {size}", size * size, status=status,
+                depth=7, swap_count=1,
+            )
+
+        monkeypatch.setattr(ex, "run_cell", flaky_run_cell)
+        p = adhoc_plan("flaky", [CellSpec.make("sabre", "grid", 2)])
+        report = execute(p, executor="shard-coordinator")
+        assert calls["n"] == 2
+        assert report.retried == 1 and report.recovered == 1
+        assert report.results[0].status == "ok"
+        assert report.results[0].extra.get("retries") == 1
+
+    def test_resumed_already_retried_timeout_is_final(self, tmp_path):
+        # The first run journaled both the timeout and its (failed) retry;
+        # resuming must serve the retried result, not re-dispatch again.
+        p = adhoc_plan(
+            "slow", [CellSpec.make("satmap", "sycamore", 4, timeout_s=0.2)]
+        )
+        first = execute(p, executor="shard-coordinator", journal=str(tmp_path / "j"))
+        assert first.retried == 1
+        report = execute(p, resume=str(tmp_path / "j"))
+        assert report.resumed == 1 and report.retried == 0
+
+    def test_resumed_unretried_timeout_gets_its_retry(self, tmp_path):
+        # A crash between a timeout and its retry pass must not make the
+        # timeout permanent: the resuming run owes the cell its re-dispatch,
+        # matching what an uninterrupted run would have done.
+        p = adhoc_plan(
+            "slow", [CellSpec.make("satmap", "sycamore", 4, timeout_s=0.2)]
+        )
+        execute(p, executor="shard-coordinator", journal=str(tmp_path / "j"))
+        # keep meta + the *first* (pre-retry) attempt only
+        path = tmp_path / "j" / "journal.jsonl"
+        lines = path.read_text().splitlines(True)
+        assert len(lines) == 3  # meta, attempt, retry
+        path.write_text("".join(lines[:2]))
+        report = execute(p, resume=str(tmp_path / "j"))
+        assert report.resumed == 1 and report.retried == 1
+        assert report.results[0].extra.get("retries") == 1
+
+    def test_retry_budget_is_respected(self, monkeypatch):
+        from repro.eval import executors as ex
+
+        calls = {"n": 0}
+
+        def always_timeout(approach, kind, size, **kwargs):
+            calls["n"] += 1
+            return CompilationResult(
+                approach, f"{kind} {size}", size * size, status="timeout"
+            )
+
+        monkeypatch.setattr(ex, "run_cell", always_timeout)
+        p = adhoc_plan("t", [CellSpec.make("sabre", "grid", 2)])
+        report = execute(p, executor="shard-coordinator", retry_timeouts=3)
+        assert calls["n"] == 4  # first attempt + three re-dispatches
+        assert report.retried == 3 and report.recovered == 0
+        assert report.results[0].extra["retries"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Verification policy
+# ---------------------------------------------------------------------------
+
+
+class TestVerifyPolicy:
+    def test_off_skips_verification(self):
+        res = run_cell("sabre", "grid", 2, verify="off")
+        assert res.ok and res.verified is None
+        assert res.extra["verify_policy"] == "off"
+
+    def test_bool_compat(self):
+        assert run_cell("sabre", "grid", 2, verify=False).verified is None
+        assert run_cell("sabre", "grid", 2, verify=True).verified is True
+
+    def test_full_is_default_and_not_annotated(self):
+        res = run_cell("sabre", "grid", 2)
+        assert res.verified is True
+        assert "verify_policy" not in res.extra
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError, match="verify policy"):
+            run_cell("sabre", "grid", 2, verify="some")
+
+    def test_sample_is_deterministic(self):
+        decisions = [sample_verifies("sabre", "grid", s) for s in range(64)]
+        assert decisions == [sample_verifies("sabre", "grid", s) for s in range(64)]
+        # the hash split actually samples: neither all-on nor all-off
+        assert 0 < sum(decisions) < len(decisions)
+
+    def test_sample_decision_varies_within_a_seed_sweep(self):
+        # a single-topology seed sweep must not share one all-or-nothing
+        # decision: the cell's options are part of the sampled identity
+        decisions = [
+            sample_verifies("sabre", "grid", 6, params=(("seed", s),))
+            for s in range(64)
+        ]
+        assert 0 < sum(decisions) < len(decisions)
+
+    def test_sample_cell_records_policy(self):
+        res = run_cell("sabre", "grid", 2, verify="sample")
+        assert res.extra["verify_policy"] == "sample"
+        expected = sample_verifies("sabre", "grid", 2)
+        assert (res.verified is not None) == expected
+
+    def test_policy_is_part_of_cache_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = dict(kwargs=(), rename=None, timeout_s=None)
+        full = cache.key("sabre", "grid", 2, **base)
+        off = cache.key("sabre", "grid", 2, **base, verify="off")
+        sample = cache.key("sabre", "grid", 2, **base, verify="sample")
+        assert len({full, off, sample}) == 3
+
+    def test_spec_make_validates_policy(self):
+        with pytest.raises(ValueError, match="verify policy"):
+            CellSpec.make("sabre", "grid", 2, verify="maybe")
+
+    def test_cell_key_includes_policy(self):
+        a = CellSpec.make("sabre", "grid", 2)
+        b = CellSpec.make("sabre", "grid", 2, verify="off")
+        assert cell_key(a) != cell_key(b)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCLI:
+    def test_list_prints_registry_table(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "Fig. 27" in out and "sweep" in out
+
+    def test_shard_flag_runs_slice(self, capsys):
+        assert main(["-e", "fig27", "--profile", "paper", "--shard", "0/2"]) == 0
+        out = capsys.readouterr().out
+        assert "shard 0/2" in out and "run: fig27" in out
+
+    def test_bad_shard_spec_errors(self):
+        for bad in ("zero-of-two", "2/2", "-1/2", "0/0"):
+            with pytest.raises(SystemExit):
+                main(["-e", "fig27", "--shard", bad])
+
+    def test_unknown_experiment_errors_with_suggestion(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["-e", "fig172"])
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_synonym_accepted(self, capsys):
+        assert main(["-e", "figure27", "--profile", "paper"]) == 0
+        assert "run: fig27" in capsys.readouterr().out
+
+    def test_journal_and_resume_flags(self, tmp_path, capsys):
+        jdir = tmp_path / "j"
+        assert main(
+            ["-e", "fig27", "--profile", "paper", "--journal", str(jdir)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["-e", "fig27", "--profile", "paper", "--resume", str(jdir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "resumed=10" in out
+
+    def test_journal_requires_single_experiment(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["-e", "fig27", "-e", "fig17", "--journal", str(tmp_path / "j")])
+
+    def test_verify_flag_threaded(self, tmp_path, capsys):
+        assert main(["-e", "fig27", "--profile", "paper", "--verify", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "verify=off" in out
