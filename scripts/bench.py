@@ -63,6 +63,10 @@ def _cell_record(spec: CellSpec, result) -> dict:
         "compile_time_s": result.compile_time_s,
         "depth": result.depth,
         "swaps": result.swap_count,
+        # Which routing engine computed the cell (SABRE cells record
+        # "c"/"python"; other approaches None).  Engines are bit-identical,
+        # so this annotates the perf trajectory without forking identities.
+        "kernel": (result.extra or {}).get("kernel"),
     }
 
 

@@ -9,6 +9,33 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# ---------------------------------------------------------------------------
+# SABRE kernel leg.  CI runs this script twice per Python version:
+#   - compiled leg:  REPRO_SABRE_KERNEL=c      (extension built, required)
+#   - fallback leg:  REPRO_SABRE_KERNEL=python (extension never consulted)
+# Unset, it builds best-effort and lets kernel="auto" pick (local dev runs).
+# ---------------------------------------------------------------------------
+leg="${REPRO_SABRE_KERNEL:-auto}"
+echo "=== SABRE kernel leg: $leg ==="
+if [ "$leg" != "python" ]; then
+    if [ "$leg" = "c" ]; then
+        # The compiled leg must fail loudly if the toolchain regresses --
+        # otherwise it would silently test the fallback twice.
+        REPRO_REQUIRE_KERNEL=1 python setup.py build_ext --inplace > /dev/null
+    else
+        python setup.py build_ext --inplace > /dev/null || true
+    fi
+fi
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - <<'PY'
+import os
+from repro.baselines.sabre_kernel import kernel_available
+leg = os.environ.get("REPRO_SABRE_KERNEL", "auto")
+print(f"compiled kernel available: {kernel_available()} (leg: {leg})")
+if leg == "c" and not kernel_available():
+    raise SystemExit("ci.sh: FAIL — compiled leg requested but extension missing")
+PY
+
+echo
 echo "=== tier-1: pytest from the repo root ==="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest -x -q
 
@@ -90,6 +117,15 @@ bad = [c for g in data["groups"] for c in g["cells"] if c["status"] == "error"]
 assert not bad, f"bench cells errored: {bad}"
 print(f"bench smoke ok: {data['total_wall_s']}s over {sum(len(g['cells']) for g in data['groups'])} cells")
 PY
+
+echo
+echo "=== perf gate: smoke bench vs committed baseline ==="
+# Fails (listing the offending cells) when any pinned cell's wall-clock
+# regressed beyond 1.5x the committed BENCH_baseline_smoke.json -- the
+# baseline is recorded with the *python* kernel, so both legs run against
+# the same budget.  Slow shared runners can widen it via
+# REPRO_PERF_GATE_FACTOR, or skip with REPRO_PERF_GATE=off.
+python scripts/perf_gate.py "$bench_out"
 
 echo
 echo "ci.sh: all green"

@@ -34,6 +34,7 @@ from .registry import Registry, UnsupportedWorkload
 __all__ = [
     "ApproachEntry",
     "APPROACH_REGISTRY",
+    "ENGINE_KWARGS",
     "register_approach",
     "get_approach",
     "approach_names",
@@ -66,6 +67,16 @@ class ApproachEntry:
 
 #: the process-wide approach registry
 APPROACH_REGISTRY: Registry[ApproachEntry] = Registry("approach")
+
+#: approach options that select an *execution engine* rather than an
+#: algorithm: they can never change the produced circuits or metrics (the
+#: equivalence suites pin this), only wall-clock.  The evaluation harness
+#: excludes them from cache keys, journal cell keys and verify-policy
+#: sampling, so a sweep's identity does not fork on engine choice -- a cell
+#: computed with the compiled SABRE kernel and the same cell computed with
+#: the Python fallback share one cache entry.  The engine that actually ran
+#: is recorded informationally in the result's ``extra["kernel"]``.
+ENGINE_KWARGS = frozenset({"kernel"})
 
 
 def register_approach(
@@ -140,17 +151,25 @@ def _ours(topology: Topology, *, strict_ie: bool = False) -> object:
     return mapper_for(topology, strict_ie=strict_ie)
 
 
-@register_approach("sabre", kwargs={"seed", "passes", "incremental"})
+@register_approach("sabre", kwargs={"seed", "passes", "incremental", "kernel"})
 def _sabre(
     topology: Topology,
     *,
     seed: int = 0,
     passes: int = 3,
     incremental: bool = False,
+    kernel: str = "auto",
 ) -> object:
-    """The SABRE re-implementation (heuristic SWAP insertion)."""
+    """The SABRE re-implementation (heuristic SWAP insertion).
 
-    return SabreMapper(topology, seed=seed, passes=passes, incremental=incremental)
+    ``kernel`` selects the routing engine (``"auto"``/``"c"``/``"python"``;
+    see :class:`~repro.baselines.sabre.SabreMapper`): an :data:`ENGINE_KWARGS`
+    option, bit-identical across engines and excluded from cache identity.
+    """
+
+    return SabreMapper(
+        topology, seed=seed, passes=passes, incremental=incremental, kernel=kernel
+    )
 
 
 # Beyond ~10 qubits the exact search times out anyway (as in the paper);

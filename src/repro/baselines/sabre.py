@@ -27,6 +27,7 @@ loop and stays bit-identical.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -40,7 +41,15 @@ from ..circuit.gates import GateKind
 from ..circuit.qft import qft_circuit
 from ..circuit.schedule import MappedCircuit, MappingBuilder
 
-__all__ = ["SabreMapper", "sabre_tables_for"]
+__all__ = ["SabreMapper", "sabre_tables_for", "SABRE_KERNELS", "KERNEL_ENV_VAR"]
+
+#: recognised values for ``SabreMapper(kernel=...)`` / ``REPRO_SABRE_KERNEL``
+SABRE_KERNELS = ("auto", "c", "python")
+
+#: environment override for the routing kernel; wins over the constructor
+#: argument, so CI (and operators) can force the fallback path repo-wide
+#: without touching call sites
+KERNEL_ENV_VAR = "REPRO_SABRE_KERNEL"
 
 # Process-wide cache of the static per-topology tables the fast path uses
 # (adjacency mask, lexicographic edge ids, per-qubit incidence bitsets).
@@ -179,6 +188,23 @@ class SabreMapper:
         for candidates incident to an extended-set endpoint (every other
         candidate's ext delta is exactly 0).  Output is bit-identical either
         way.
+    kernel:
+        Which routing engine runs the swap loop.  ``"auto"`` (default) uses
+        the compiled C kernel (:mod:`repro.baselines._sabre_kernel`, built
+        via ``python setup.py build_ext --inplace``) whenever it is built
+        *and* the mapper is in its default scoring configuration
+        (``vectorized=True``, ``incremental=False``), falling back to the
+        vectorized Python path otherwise; ``"c"`` requires the extension and
+        raises with a build hint when it is missing; ``"python"`` never
+        touches the extension.  All kernels are bit-identical -- same swaps,
+        same depth/SWAP metrics, same RNG consumption -- so the choice can
+        never change results, only wall-clock (the equivalence suite in
+        ``tests/test_sabre_kernel.py`` pins this).  The environment variable
+        ``REPRO_SABRE_KERNEL`` overrides the constructor argument; circuits
+        containing *logical* SWAP gates always route through the reference
+        path (as before), whatever the kernel selection.  The engine that
+        actually routed the last ``map_circuit`` call is recorded in
+        ``last_kernel`` and in the mapped circuit's ``metadata["kernel"]``.
     """
 
     name = "sabre"
@@ -196,6 +222,7 @@ class SabreMapper:
         trivial_initial_layout: bool = False,
         vectorized: bool = True,
         incremental: bool = False,
+        kernel: str = "auto",
     ) -> None:
         self.topology = topology
         self.seed = seed
@@ -207,11 +234,51 @@ class SabreMapper:
         self.trivial_initial_layout = trivial_initial_layout
         self.vectorized = vectorized
         self.incremental = incremental
+        if kernel not in SABRE_KERNELS:
+            raise ValueError(
+                f"unknown SABRE kernel {kernel!r} (one of {SABRE_KERNELS})"
+            )
+        self.kernel = kernel
+        #: routing engine used by the most recent ``map_circuit`` call
+        #: ("c" or "python"); also recorded in the mapped metadata
+        self.last_kernel: Optional[str] = None
         # Stats of the most recent fast-path routing pass ({iterations,
         # front_rebuilds, candidates_mean}); the perf harness uses them to
         # check the per-swap-iteration cost stays flat at paper scale.
         self.last_routing_stats: Optional[Dict[str, float]] = None
         self._dist = topology.distance_matrix()
+
+    # ------------------------------------------------------------------
+    def _resolve_kernel(self) -> str:
+        """Effective routing engine for this call: ``"c"`` or ``"python"``.
+
+        The ``REPRO_SABRE_KERNEL`` environment variable overrides the
+        constructor argument (checked per call, so CI legs and tests can
+        flip it without rebuilding mappers).  The compiled kernel only
+        implements the default scoring configuration; a mapper explicitly
+        configured for the reference loop (``vectorized=False``) or the
+        opt-in cross-iteration score cache (``incremental=True``) keeps its
+        Python path -- outputs are bit-identical either way, so this is a
+        speed decision, never a semantic one.
+        """
+
+        from .sabre_kernel import KERNEL_BUILD_HINT, kernel_available
+
+        choice = os.environ.get(KERNEL_ENV_VAR, "").strip() or self.kernel
+        if choice not in SABRE_KERNELS:
+            raise ValueError(
+                f"unknown SABRE kernel {choice!r} from {KERNEL_ENV_VAR} "
+                f"(one of {SABRE_KERNELS})"
+            )
+        if choice == "python":
+            return "python"
+        if choice == "c" and not kernel_available():
+            raise RuntimeError(KERNEL_BUILD_HINT)
+        if not self.vectorized or self.incremental:
+            return "python"
+        if choice == "auto" and not kernel_available():
+            return "python"
+        return "c"
 
     # ------------------------------------------------------------------
     def map_qft(self, num_qubits: Optional[int] = None) -> MappedCircuit:
@@ -242,7 +309,17 @@ class SabreMapper:
         ops_layout = current
 
         builder, _ = self._route(forward, ops_layout, rng, emit=True)
-        mapped = builder.build(metadata={"mapper": self.name, "seed": self.seed, "passes": self.passes})
+        mapped = builder.build(
+            metadata={
+                "mapper": self.name,
+                "seed": self.seed,
+                "passes": self.passes,
+                # Which engine routed this circuit.  Purely informational:
+                # every kernel is bit-identical, so this never forks metrics
+                # (the eval cache treats it as volatile when merging).
+                "kernel": self.last_kernel,
+            }
+        )
         return mapped
 
     # ------------------------------------------------------------------
@@ -256,18 +333,25 @@ class SabreMapper:
     ) -> Tuple[Optional[MappingBuilder], List[int]]:
         """Route one traversal pass; dispatches to the fast or reference path.
 
-        Both paths follow the identical algorithm (same execution order, same
+        All paths follow the identical algorithm (same execution order, same
         candidate enumeration, same float arithmetic, same RNG consumption),
         so they produce bit-identical routed circuits; the fast path batches
-        the per-candidate scoring and executability checks through numpy.
-        The fast path assumes executing a gate never changes the layout
-        mid-sweep, which fails for circuits containing *logical* SWAP gates
-        -- those fall back to the reference path.
+        the per-candidate scoring and executability checks through numpy,
+        and the compiled kernel (:mod:`repro.baselines.sabre_kernel`,
+        selected at runtime via ``kernel=``/``REPRO_SABRE_KERNEL``) runs the
+        whole loop in C.  Both fast paths assume executing a gate never
+        changes the layout mid-sweep, which fails for circuits containing
+        *logical* SWAP gates -- those fall back to the reference path.
         """
 
-        if self.vectorized and not any(
-            g.kind == GateKind.SWAP for g in circuit.gates
-        ):
+        swap_free = not any(g.kind == GateKind.SWAP for g in circuit.gates)
+        if swap_free and self._resolve_kernel() == "c":
+            from .sabre_kernel import route_compiled
+
+            self.last_kernel = "c"
+            return route_compiled(self, circuit, initial_layout, rng, emit=emit)
+        self.last_kernel = "python"
+        if self.vectorized and swap_free:
             return self._route_fast(circuit, initial_layout, rng, emit=emit)
         return self._route_reference(circuit, initial_layout, rng, emit=emit)
 

@@ -1,0 +1,241 @@
+"""Python side of the compiled SABRE routing kernel.
+
+The C extension (:mod:`repro.baselines._sabre_kernel`, built via
+``python setup.py build_ext --inplace``) runs the entire SABRE swap loop --
+executable-gate sweeps, front/extended-set maintenance, exact delta scoring,
+the reference tie-break and the swap application -- in one call over flat
+tables.  This module owns everything around that call:
+
+* **availability**: :func:`kernel_available` probes the import once; callers
+  (``SabreMapper``'s runtime kernel selection) fall back to the bit-identical
+  vectorized Python path when the extension is not built;
+* **table preparation**: per-topology tables (distance matrix, adjacency
+  mask, edge endpoints, per-qubit incidence CSR) are derived from the same
+  shared :func:`~repro.baselines.sabre.sabre_tables_for` cache the Python
+  fast path uses, and cached process-wide per coupling graph; per-circuit
+  tables (gate endpoint arrays and the dependence-DAG CSR) are built with
+  vectorized numpy passes that reproduce ``_Dag.from_circuit`` exactly
+  (successor lists ascending, indegree = number of *distinct* predecessors);
+* **RNG round-trip**: the caller's ``random.Random`` state is exported into
+  the kernel (which implements CPython's MT19937 / ``getrandbits`` /
+  ``_randbelow`` verbatim) and re-imported afterwards, so RNG consumption is
+  word-for-word identical to the Python paths -- including the draw CPython
+  makes even for single-candidate tie-breaks;
+* **event replay**: the kernel reports its decisions as an event stream
+  (gate index >= 0: execute the gate at the current layout; ``-(eid+1)``:
+  apply the swap on edge ``eid``), which :func:`route_compiled` replays
+  through the ordinary :class:`~repro.circuit.schedule.MappingBuilder` --
+  emitted ops are constructed (and adjacency-validated) by the same code as
+  the Python paths, so the output is the same object graph, not just the
+  same metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..arch.topology import Topology
+from ..circuit.circuit import Circuit
+from ..circuit.gates import GateKind
+from ..circuit.schedule import MappingBuilder
+from ..utils import BoundedCache
+
+try:  # pragma: no cover - exercised via both CI legs
+    from . import _sabre_kernel as _kernel
+except ImportError:  # extension not built: callers fall back / raise typed
+    _kernel = None
+
+__all__ = ["kernel_available", "KERNEL_BUILD_HINT", "route_compiled"]
+
+KERNEL_BUILD_HINT = (
+    "the compiled SABRE kernel is not built; build it with "
+    "`python setup.py build_ext --inplace` (requires a C compiler), or "
+    "select kernel='python' / export REPRO_SABRE_KERNEL=python to use the "
+    "bit-identical Python path"
+)
+
+
+def kernel_available() -> bool:
+    """True when the C extension imported (i.e. has been built)."""
+
+    return _kernel is not None
+
+
+# Process-wide cache of the kernel-shaped per-topology tables, keyed like
+# every other per-topology cache by the coupling-graph identity.
+_KERNEL_TABLES: BoundedCache = BoundedCache(16)
+
+
+def _kernel_tables_for(topology: Topology):
+    """Flat per-topology tables in the dtypes the C kernel expects.
+
+    Returns ``(dist, adj, eu, ev, inc_off, inc_eid, edge_list)``: float64
+    distance matrix, uint8 adjacency, int32 edge endpoint arrays
+    (lexicographic edge order, shared with the Python fast path), and the
+    per-qubit incident-edge CSR (edge ids ascending per qubit).
+    """
+
+    key = topology.graph_key()
+    hit = _KERNEL_TABLES.lookup(key)
+    if hit is not None:
+        return hit
+
+    from .sabre import sabre_tables_for
+
+    mask, edge_list, edge_arr, _edge_bits = sabre_tables_for(topology)
+    n = topology.num_qubits
+    num_edges = len(edge_list)
+    dist = np.ascontiguousarray(topology.distance_matrix(), dtype=np.float64)
+    adj = np.ascontiguousarray(mask, dtype=np.uint8)
+    eu = np.ascontiguousarray(edge_arr[:, 0], dtype=np.int32)
+    ev = np.ascontiguousarray(edge_arr[:, 1], dtype=np.int32)
+
+    # Per-qubit incidence CSR: stable sort by (qubit, edge id) groups each
+    # qubit's incident edges in ascending-eid order.
+    qubits = edge_arr.ravel()
+    eids = np.repeat(np.arange(num_edges, dtype=np.int64), 2)
+    order = np.lexsort((eids, qubits))
+    inc_eid = np.ascontiguousarray(eids[order], dtype=np.int32)
+    counts = np.bincount(qubits, minlength=n)
+    inc_off = np.zeros(n + 1, dtype=np.int32)
+    inc_off[1:] = np.cumsum(counts)
+
+    for arr in (dist, adj, eu, ev, inc_off, inc_eid):
+        arr.setflags(write=False)
+    return _KERNEL_TABLES.store(
+        key, (dist, adj, eu, ev, inc_off, inc_eid, edge_list)
+    )
+
+
+def _circuit_tables(circuit: Circuit):
+    """Per-circuit tables: gate endpoints + dependence-DAG CSR + indegree.
+
+    Reproduces :meth:`repro.baselines.sabre._Dag.from_circuit` exactly, but
+    with vectorized passes: program-order per-qubit chains give the edges
+    (prev gate on the qubit -> this gate), duplicate edges collapse (a gate
+    whose two qubits share one predecessor depends on it *once*), successor
+    lists come out ascending per gate, and indegree counts distinct
+    predecessors.
+    """
+
+    gates = circuit.gates
+    m = len(gates)
+    gq0 = np.fromiter((g.qubits[0] for g in gates), dtype=np.int32, count=m)
+    gq1 = np.fromiter((g.qubits[-1] for g in gates), dtype=np.int32, count=m)
+    is2q = np.fromiter((g.is_two_qubit for g in gates), dtype=bool, count=m)
+
+    two = np.flatnonzero(is2q)
+    qs = np.concatenate([gq0.astype(np.int64), gq1[two].astype(np.int64)])
+    idx = np.concatenate([np.arange(m, dtype=np.int64), two])
+    order = np.lexsort((idx, qs))
+    sq, si = qs[order], idx[order]
+    same = sq[1:] == sq[:-1]
+    src, dst = si[:-1][same], si[1:][same]
+    if m:
+        uniq = np.unique(src * m + dst)  # dedupe; sorts by (src, dst)
+        src, dst = uniq // m, uniq % m
+    indeg = np.ascontiguousarray(np.bincount(dst, minlength=m), dtype=np.int32)
+    succ_off = np.zeros(m + 1, dtype=np.int32)
+    succ_off[1:] = np.cumsum(np.bincount(src, minlength=m))
+    succ = np.ascontiguousarray(dst, dtype=np.int32)
+    return gq0, gq1, is2q.astype(np.uint8), succ_off, succ, indeg
+
+
+def route_compiled(
+    mapper,
+    circuit: Circuit,
+    initial_layout: Sequence[int],
+    rng: random.Random,
+    *,
+    emit: bool,
+) -> Tuple[Optional[MappingBuilder], List[int]]:
+    """One compiled routing pass; drop-in for ``SabreMapper._route_fast``.
+
+    Exports ``rng``'s Mersenne-Twister state into the kernel, runs the whole
+    swap loop in C, re-imports the advanced state, and (for emitting passes)
+    replays the kernel's event stream through a :class:`MappingBuilder`.
+    Updates ``mapper.last_routing_stats`` like the Python fast path.
+    """
+
+    if _kernel is None:  # pragma: no cover - dispatch checks availability
+        raise RuntimeError(KERNEL_BUILD_HINT)
+
+    topo = mapper.topology
+    n = circuit.num_qubits
+    dist, adj, eu, ev, inc_off, inc_eid, edge_list = _kernel_tables_for(topo)
+    gq0, gq1, is2q, succ_off, succ, indeg = _circuit_tables(circuit)
+    layout = np.array(list(initial_layout), dtype=np.int64)
+
+    version, internal, gauss_next = rng.getstate()
+    state = np.array(internal, dtype=np.uint32)  # 624 words + index
+
+    events, n_iterations, n_rebuilds, cand_total = _kernel.route(
+        state,
+        topo.num_qubits,
+        n,
+        len(circuit.gates),
+        len(edge_list),
+        dist,
+        adj,
+        eu,
+        ev,
+        inc_off,
+        inc_eid,
+        gq0,
+        gq1,
+        is2q,
+        succ_off,
+        succ,
+        indeg,
+        layout,
+        int(mapper.extended_set_size),
+        float(mapper.extended_set_weight),
+        float(mapper.decay_delta),
+        int(mapper.decay_reset_interval),
+        bool(emit),
+    )
+
+    rng.setstate((version, tuple(int(x) for x in state), gauss_next))
+    mapper.last_routing_stats = {
+        "iterations": int(n_iterations),
+        "front_rebuilds": int(n_rebuilds),
+        "candidates_mean": cand_total / max(1, n_iterations),
+    }
+    final_layout = layout.tolist()
+    if not emit:
+        return None, final_layout
+
+    # Replay the event stream through the ordinary builder: same op
+    # construction, same adjacency validation, same tags as the Python paths.
+    builder = MappingBuilder(topo, initial_layout, num_logical=n, name=mapper.name)
+    gates = circuit.gates
+    ltp = builder.log_to_phys  # live reference, maintained by builder.swap
+    h, rz = builder.h, builder.rz
+    cphase, cnot, swap = builder.cphase, builder.cnot, builder.swap
+    for code in np.frombuffer(events, dtype=np.int64).tolist():
+        if code >= 0:
+            g = gates[code]
+            kind = g.kind
+            if kind == GateKind.H:
+                h(ltp[g.qubits[0]], tag="sabre")
+            elif kind == GateKind.RZ:
+                rz(ltp[g.qubits[0]], g.angle, tag="sabre")
+            elif kind == GateKind.CPHASE:
+                a, b = g.qubits
+                cphase(ltp[a], ltp[b], g.angle, tag="sabre")
+            elif kind == GateKind.CNOT:
+                a, b = g.qubits
+                cnot(ltp[a], ltp[b], tag="sabre")
+            else:  # pragma: no cover - SWAPs are excluded by the dispatch
+                raise ValueError(f"unsupported gate kind {kind!r}")
+        else:
+            pa, pb = edge_list[-code - 1]
+            swap(pa, pb, tag="sabre-swap")
+    if builder.log_to_phys != final_layout:  # pragma: no cover - kernel bug net
+        raise RuntimeError(
+            "compiled SABRE kernel and replay disagree about the final layout"
+        )
+    return builder, final_layout

@@ -25,6 +25,7 @@ import tempfile
 from pathlib import Path
 from typing import Dict, Iterable, Optional, Tuple
 
+from ..approaches import ENGINE_KWARGS
 from .metrics import CompilationResult
 
 __all__ = ["ResultCache", "CacheMergeConflict", "code_version"]
@@ -96,7 +97,15 @@ class ResultCache:
                 "approach": approach,
                 "kind": kind,
                 "size": size,
-                "kwargs": sorted((str(k), repr(v)) for k, v in kwargs),
+                # Engine-selection options (e.g. the SABRE routing kernel)
+                # are bit-identical by contract, so they are not part of a
+                # cell's identity: a sweep must hit the same cache entries
+                # whether the compiled kernel or the Python fallback ran.
+                "kwargs": sorted(
+                    (str(k), repr(v))
+                    for k, v in kwargs
+                    if str(k) not in ENGINE_KWARGS
+                ),
                 "rename": rename,
                 "timeout_s": timeout_s,
                 "workload": workload,
@@ -152,9 +161,20 @@ class ResultCache:
     #: property of the machine/run, not of the spec, so two shards computing
     #: the same deterministic cell legitimately disagree on it.
     _VOLATILE_FIELDS = ("compile_time_s",)
+    #: ``extra`` keys likewise excluded: which routing engine computed a cell
+    #: (``kernel``) is a property of the machine (whether the extension was
+    #: built there), not of the spec -- engines are bit-identical, so two
+    #: shards disagreeing *only* on this must still merge cleanly.
+    _VOLATILE_EXTRA = ("kernel",)
 
     def _comparable(self, data: Dict[str, object]) -> Dict[str, object]:
-        return {k: v for k, v in data.items() if k not in self._VOLATILE_FIELDS}
+        out = {k: v for k, v in data.items() if k not in self._VOLATILE_FIELDS}
+        extra = out.get("extra")
+        if isinstance(extra, dict):
+            out["extra"] = {
+                k: v for k, v in extra.items() if k not in self._VOLATILE_EXTRA
+            }
+        return out
 
     def merge(self, other_root: os.PathLike) -> Dict[str, int]:
         """Union the entries of another cache directory into this one.

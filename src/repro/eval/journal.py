@@ -29,6 +29,7 @@ import os
 from pathlib import Path
 from typing import IO, Dict, Optional, Tuple
 
+from ..approaches import ENGINE_KWARGS
 from .metrics import CompilationResult
 
 __all__ = ["cell_key", "RunJournal"]
@@ -42,7 +43,11 @@ def cell_key(spec) -> str:
     Covers every field that changes what the cell computes -- approach, kind,
     size, options, rename, timeout budget, workload (+params) and the
     verification policy -- mirroring :meth:`ResultCache.key` minus the code
-    version (which the journal records once, in its metadata line).
+    version (which the journal records once, in its metadata line).  Like
+    the cache key, engine-selection options (``ENGINE_KWARGS``, e.g. the
+    SABRE routing kernel) are excluded: they are bit-identical by contract,
+    so a journal written on a machine with the compiled kernel resumes
+    cleanly on one without it.
     """
 
     payload = json.dumps(
@@ -50,7 +55,11 @@ def cell_key(spec) -> str:
             "approach": spec.approach,
             "kind": spec.kind,
             "size": spec.size,
-            "kwargs": sorted((str(k), repr(v)) for k, v in spec.kwargs),
+            "kwargs": sorted(
+                (str(k), repr(v))
+                for k, v in spec.kwargs
+                if str(k) not in ENGINE_KWARGS
+            ),
             "rename": spec.rename,
             "timeout_s": spec.timeout_s,
             "workload": spec.workload,

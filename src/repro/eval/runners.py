@@ -23,7 +23,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, Iterable, Optional, Tuple, Union
 
-from ..approaches import APPROACH_REGISTRY, get_approach
+from ..approaches import APPROACH_REGISTRY, ENGINE_KWARGS, get_approach
 from ..arch.registry import (
     ARCHITECTURES,
     architecture_key,
@@ -123,9 +123,18 @@ def sample_verifies(
     ``params`` carries the cell's remaining identity (approach options like
     the SABRE seed, workload parameters): without it, every cell of a
     single-topology seed sweep would share one all-or-nothing decision.
+    Engine-selection options (:data:`~repro.approaches.ENGINE_KWARGS`, e.g.
+    the SABRE routing kernel) are excluded -- they cannot change what the
+    cell computes, so they must not change which cells get verified either
+    (a forked decision would fork the ``verified`` field and with it the
+    cache-merge identity).
     """
 
-    tail = ";".join(f"{k}={v!r}" for k, v in sorted((str(k), v) for k, v in params))
+    tail = ";".join(
+        f"{k}={v!r}"
+        for k, v in sorted((str(k), v) for k, v in params)
+        if k not in ENGINE_KWARGS
+    )
     digest = hashlib.sha256(
         f"{approach}|{kind}|{size}|{workload}|{tail}".encode()
     ).digest()

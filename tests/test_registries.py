@@ -99,6 +99,7 @@ class TestBuiltinRegistries:
             "seed",
             "passes",
             "incremental",
+            "kernel",
         }
         assert get_approach("satmap").timeout_param == "timeout_s"
         assert get_approach("satmap").max_qubits is not None

@@ -1,0 +1,322 @@
+"""Compiled SABRE kernel: bit-equality, runtime selection, graceful fallback.
+
+The compiled routing kernel (``repro.baselines._sabre_kernel``) must be a
+pure speed choice: same swap sequence, same emitted ops, same metrics, same
+RNG consumption as the Python paths, on every workload / architecture / seed
+-- that contract is what lets the eval harness share cache entries across
+engines and lets CI force ``REPRO_SABRE_KERNEL=python`` without changing a
+single number.  The seeded fuzz suite here sweeps the full workload x
+architecture cross-product with ten seeds each; the selection tests pin the
+``kernel=`` / ``REPRO_SABRE_KERNEL`` resolution rules and the degradation
+behavior when the extension is absent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arch import (
+    CaterpillarTopology,
+    GridTopology,
+    LatticeSurgeryTopology,
+    LNNTopology,
+    SycamoreTopology,
+)
+from repro.baselines import SabreMapper, sabre_kernel
+from repro.baselines.sabre import KERNEL_ENV_VAR
+from repro.baselines.sabre_kernel import kernel_available
+from repro.eval.cache import ResultCache
+from repro.eval.journal import cell_key
+from repro.eval.parallel import CellSpec
+from repro.eval.runners import sample_verifies
+from repro.workloads import get_workload
+
+requires_kernel = pytest.mark.skipif(
+    not kernel_available(),
+    reason="compiled SABRE kernel not built (python setup.py build_ext --inplace)",
+)
+
+
+@pytest.fixture(autouse=True)
+def _clear_kernel_env(monkeypatch):
+    """Neutralize the CI legs' REPRO_SABRE_KERNEL override.
+
+    The CI matrix forces one engine repo-wide; these tests exist precisely
+    to compare engines against each other, so they must see the constructor
+    argument, not the leg's override.  Tests that probe the override set it
+    themselves (their monkeypatch.setenv runs after this delenv)."""
+
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+
+# All five architectures, at sizes small enough that the full fuzz sweep
+# stays seconds-scale but large enough that routing is non-trivial (front
+# layers, extended sets and candidate sets all interact).
+ARCHITECTURES = [
+    pytest.param(lambda: LNNTopology(7), id="lnn7"),
+    pytest.param(lambda: GridTopology(4, 4), id="grid44"),
+    pytest.param(lambda: SycamoreTopology(4), id="sycamore4"),
+    pytest.param(lambda: CaterpillarTopology.regular_groups(3), id="heavyhex3"),
+    pytest.param(lambda: LatticeSurgeryTopology(4), id="lattice4"),
+]
+
+WORKLOADS = ["qft", "qaoa", "random"]
+
+SEEDS = list(range(10))
+
+
+def _mapped_pair(topo, circuit, seed, **kwargs):
+    """Map ``circuit`` with the Python and the compiled kernel."""
+
+    py = SabreMapper(topo, seed=seed, kernel="python", **kwargs).map_circuit(circuit)
+    cc = SabreMapper(topo, seed=seed, kernel="c", **kwargs).map_circuit(circuit)
+    return py, cc
+
+
+@requires_kernel
+@pytest.mark.parametrize("make_topo", ARCHITECTURES)
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_kernel_bit_identical_across_seeds(make_topo, workload):
+    """C and Python routing agree gate-for-gate on >= 10 seeds per cell."""
+
+    topo = make_topo()
+    wl = get_workload(workload)
+    n = topo.num_qubits
+    for seed in SEEDS:
+        params = wl.resolve_params(**({"seed": seed} if workload != "qft" else {}))
+        circuit = wl.build_cached(n, **params)
+        py, cc = _mapped_pair(topo, circuit, seed)
+        assert cc.ops == py.ops, (
+            f"compiled kernel diverged: {workload} on {topo.name} seed {seed}"
+        )
+        assert cc.depth() == py.depth()
+        assert cc.swap_count() == py.swap_count()
+        assert cc.final_layout() == py.final_layout()
+        assert py.metadata["kernel"] == "python"
+        assert cc.metadata["kernel"] == "c"
+
+
+@requires_kernel
+@pytest.mark.parametrize("make_topo", ARCHITECTURES)
+def test_kernel_matches_reference_loop(make_topo):
+    """The compiled kernel also matches the textbook reference loop."""
+
+    topo = make_topo()
+    ref = SabreMapper(topo, seed=3, kernel="python", vectorized=False).map_qft(
+        topo.num_qubits
+    )
+    cc = SabreMapper(topo, seed=3, kernel="c").map_qft(topo.num_qubits)
+    assert cc.ops == ref.ops
+
+
+@requires_kernel
+def test_kernel_routing_stats_match():
+    """`last_routing_stats` (iterations/rebuilds/candidates) agree exactly."""
+
+    topo = GridTopology(5, 5)
+    py = SabreMapper(topo, seed=0, kernel="python")
+    cc = SabreMapper(topo, seed=0, kernel="c")
+    assert py.map_qft(25).ops == cc.map_qft(25).ops
+    assert py.last_routing_stats == cc.last_routing_stats
+    assert py.last_kernel == "python"
+    assert cc.last_kernel == "c"
+
+
+@requires_kernel
+def test_kernel_rng_state_round_trip():
+    """The kernel leaves the mapper's RNG stream exactly where Python would.
+
+    Mapping twice with the same mapper object must behave identically across
+    kernels -- a drifted Mersenne-Twister state would show up as a diverged
+    second circuit even if the first matched.
+    """
+
+    import random
+
+    topo = GridTopology(4, 4)
+    streams = {}
+    for kern in ("python", "c"):
+        mapper = SabreMapper(topo, seed=11, kernel=kern)
+        first = mapper.map_qft(16)
+        # the mapper reseeds per map_circuit; probe the raw route-level RNG
+        rng = random.Random(123)
+        builder, layout = mapper._route(
+            get_workload("qft").build_cached(16), list(range(16)), rng, emit=True
+        )
+        streams[kern] = (first.ops, builder.ops, layout, rng.getstate())
+    assert streams["python"] == streams["c"]
+
+
+@requires_kernel
+@pytest.mark.parametrize("passes", [1, 2])
+def test_kernel_single_and_double_pass(passes):
+    topo = SycamoreTopology(4)
+    py, cc = _mapped_pair(
+        topo, get_workload("qft").build_cached(topo.num_qubits), 2, passes=passes
+    )
+    assert cc.ops == py.ops
+
+
+@requires_kernel
+def test_env_override_forces_python(monkeypatch):
+    """REPRO_SABRE_KERNEL=python beats an explicit kernel="c" request."""
+
+    monkeypatch.setenv(KERNEL_ENV_VAR, "python")
+    mapper = SabreMapper(GridTopology(3, 3), seed=0, kernel="c")
+    mapper.map_qft(9)
+    assert mapper.last_kernel == "python"
+
+
+@requires_kernel
+def test_env_override_forces_c(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "c")
+    mapper = SabreMapper(GridTopology(3, 3), seed=0, kernel="python")
+    mapper.map_qft(9)
+    assert mapper.last_kernel == "c"
+
+
+def test_env_override_rejects_unknown(monkeypatch):
+    monkeypatch.setenv(KERNEL_ENV_VAR, "fortran")
+    mapper = SabreMapper(GridTopology(3, 3), seed=0)
+    with pytest.raises(ValueError, match="fortran"):
+        mapper.map_qft(9)
+
+
+def test_unknown_kernel_rejected_at_construction():
+    with pytest.raises(ValueError, match="unknown SABRE kernel"):
+        SabreMapper(GridTopology(3, 3), kernel="rust")
+
+
+@requires_kernel
+def test_non_default_scorer_configs_stay_python():
+    """auto/c only cover the default scoring config; the reference loop and
+    the opt-in incremental scorer keep their Python engines (bit-identical
+    anyway, but `vectorized=False` is an explicit request for the textbook
+    loop and must stay meaningful under REPRO_SABRE_KERNEL=c)."""
+
+    topo = GridTopology(3, 3)
+    ref = SabreMapper(topo, seed=0, kernel="c", vectorized=False)
+    ref.map_qft(9)
+    assert ref.last_kernel == "python"
+    inc = SabreMapper(topo, seed=0, kernel="c", incremental=True)
+    inc.map_qft(9)
+    assert inc.last_kernel == "python"
+
+
+class TestGracefulDegradation:
+    """kernel="auto" must survive an unbuilt extension; kernel="c" must not."""
+
+    def test_auto_falls_back_when_extension_absent(self, monkeypatch):
+        monkeypatch.setattr(sabre_kernel, "_kernel", None)
+        mapper = SabreMapper(GridTopology(3, 3), seed=4, kernel="auto")
+        mapped = mapper.map_qft(9)
+        assert mapper.last_kernel == "python"
+        ref = SabreMapper(GridTopology(3, 3), seed=4, kernel="python").map_qft(9)
+        assert mapped.ops == ref.ops
+
+    def test_explicit_c_raises_with_build_hint(self, monkeypatch):
+        monkeypatch.setattr(sabre_kernel, "_kernel", None)
+        mapper = SabreMapper(GridTopology(3, 3), seed=4, kernel="c")
+        with pytest.raises(RuntimeError, match="build_ext"):
+            mapper.map_qft(9)
+
+    def test_env_c_raises_when_absent(self, monkeypatch):
+        monkeypatch.setattr(sabre_kernel, "_kernel", None)
+        monkeypatch.setenv(KERNEL_ENV_VAR, "c")
+        mapper = SabreMapper(GridTopology(3, 3), seed=4)
+        with pytest.raises(RuntimeError, match="build_ext"):
+            mapper.map_qft(9)
+
+
+class TestKernelIsMetricsNeutral:
+    """Engine choice must not fork any harness identity."""
+
+    def test_cache_key_does_not_fork_on_kernel(self, tmp_path):
+        cache = ResultCache(tmp_path, version="vtest")
+        base = cache.key("sabre", "grid", 5, kwargs=[("seed", 3)])
+        for kern in ("auto", "c", "python"):
+            assert (
+                cache.key("sabre", "grid", 5, kwargs=[("seed", 3), ("kernel", kern)])
+                == base
+            )
+        # non-engine kwargs still fork
+        assert cache.key("sabre", "grid", 5, kwargs=[("seed", 4)]) != base
+
+    def test_journal_cell_key_does_not_fork_on_kernel(self):
+        base = cell_key(CellSpec.make("sabre", "grid", 5, seed=3))
+        assert cell_key(CellSpec.make("sabre", "grid", 5, seed=3, kernel="c")) == base
+        assert (
+            cell_key(CellSpec.make("sabre", "grid", 5, seed=3, kernel="python"))
+            == base
+        )
+        assert cell_key(CellSpec.make("sabre", "grid", 5, seed=4)) != base
+
+    def test_sample_verify_decision_does_not_fork_on_kernel(self):
+        for size in range(3, 12):
+            base = sample_verifies("sabre", "grid", size, "qft", params=[("seed", 1)])
+            forked = sample_verifies(
+                "sabre", "grid", size, "qft", params=[("seed", 1), ("kernel", "c")]
+            )
+            assert base == forked
+
+    def test_merge_tolerates_kernel_disagreement(self, tmp_path):
+        """Two shards that computed one cell with different engines merge
+        cleanly (extra["kernel"] is volatile); real metric disagreement
+        still raises."""
+
+        from repro.eval.cache import CacheMergeConflict
+        from repro.eval.metrics import CompilationResult
+
+        a = ResultCache(tmp_path / "a", version="v")
+        b = ResultCache(tmp_path / "b", version="v")
+        key = a.key("sabre", "grid", 3, kwargs=[("seed", 0)])
+
+        def result(kernel, depth=10):
+            return CompilationResult(
+                approach="sabre",
+                architecture="grid-3",
+                num_qubits=9,
+                status="ok",
+                depth=depth,
+                extra={"kernel": kernel},
+            )
+
+        a.put(key, result("c"))
+        b.put(key, result("python"))
+        stats = a.merge(tmp_path / "b")
+        assert stats == {"imported": 0, "skipped": 1, "invalid": 0}
+
+        c = ResultCache(tmp_path / "c", version="v")
+        c.put(key, result("python", depth=11))  # genuinely different metrics
+        with pytest.raises(CacheMergeConflict):
+            a.merge(tmp_path / "c")
+
+    @requires_kernel
+    def test_run_cell_records_engine_in_extra(self):
+        from repro.eval.runners import run_cell
+
+        row = run_cell("sabre", "grid", 3, kernel="c", verify=False)
+        assert row.status == "ok"
+        assert row.extra["kernel"] == "c"
+        row = run_cell("sabre", "grid", 3, kernel="python", verify=False)
+        assert row.extra["kernel"] == "python"
+
+
+@requires_kernel
+def test_logical_swap_circuits_fall_back_to_reference():
+    """Circuits containing logical SWAP gates keep the reference path (the
+    compiled loop, like the numpy fast path, assumes a sweep-stable layout)."""
+
+    from repro.circuit.circuit import Circuit
+
+    topo = GridTopology(3, 3)
+    circ = Circuit(4)
+    circ.h(0)
+    circ.cnot(0, 1)
+    circ.swap(1, 2)
+    circ.cphase(0, 3, 0.5)
+    mapper = SabreMapper(topo, seed=0, kernel="c")
+    mapped = mapper.map_circuit(circ)
+    assert mapper.last_kernel == "python"
+    ref = SabreMapper(topo, seed=0, kernel="python", vectorized=False).map_circuit(
+        circ
+    )
+    assert mapped.ops == ref.ops
