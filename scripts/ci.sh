@@ -10,6 +10,53 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # ---------------------------------------------------------------------------
+# Static invariants first: repro.lint checks determinism, cache-key purity,
+# registry hygiene and error discipline over the whole tree.  This is the
+# cheapest gate (a couple of seconds, no builds), so it runs before anything
+# else -- and `--lint-only` lets the dedicated CI lint job stop here.
+# ---------------------------------------------------------------------------
+echo "=== repro.lint: static invariant checks ==="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.lint src/repro \
+    --baseline LINT_BASELINE.txt
+echo "lint ok"
+if [ "${1:-}" = "--lint-only" ]; then
+    echo "ci.sh: lint-only run complete"
+    exit 0
+fi
+
+# ---------------------------------------------------------------------------
+# `--asan-only`: build the C kernel with ASAN+UBSAN (-Werror) and run the
+# kernel equivalence suite under the sanitizers, then stop.  Python tooling
+# cannot see into _sabre_kernel.c; this leg makes refcount/OOB/overflow bugs
+# there abort loudly instead of corrupting "bit-identical" results.
+#   - LD_PRELOAD: the ASAN runtime must be loaded before python itself,
+#     because the interpreter binary is not instrumented.
+#   - detect_leaks=0: CPython intentionally leaks at exit; leak reports
+#     would drown real findings.
+#   - halt_on_error / -fno-sanitize-recover=all (set by setup.py): any hit
+#     is fatal, so the job fails instead of printing-and-passing.
+# ---------------------------------------------------------------------------
+if [ "${1:-}" = "--asan-only" ]; then
+    echo "=== asan: rebuild kernel with -fsanitize=address,undefined -Werror ==="
+    rm -f src/repro/baselines/_sabre_kernel*.so
+    REPRO_KERNEL_SANITIZE=1 REPRO_REQUIRE_KERNEL=1 \
+        python setup.py build_ext --inplace > /dev/null
+    asan_rt=$(gcc -print-file-name=libasan.so)
+    echo "=== asan: kernel equivalence suite under ASAN+UBSAN ==="
+    LD_PRELOAD="$asan_rt" \
+        ASAN_OPTIONS=detect_leaks=0:halt_on_error=1 \
+        UBSAN_OPTIONS=print_stacktrace=1 \
+        REPRO_SABRE_KERNEL=c \
+        PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m pytest tests/test_sabre_kernel.py -q
+    # Leave no sanitized extension behind: it cannot be imported without
+    # the preloaded runtime and would poison a later plain run.
+    rm -f src/repro/baselines/_sabre_kernel*.so
+    echo "ci.sh: asan-only run complete"
+    exit 0
+fi
+
+# ---------------------------------------------------------------------------
 # SABRE kernel leg.  CI runs this script twice per Python version:
 #   - compiled leg:  REPRO_SABRE_KERNEL=c      (extension built, required)
 #   - fallback leg:  REPRO_SABRE_KERNEL=python (extension never consulted)

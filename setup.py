@@ -20,12 +20,53 @@ fallback twice).
 Environments without the ``wheel`` package (or setuptools >= 70) cannot do
 editable installs at all -- there, run with ``PYTHONPATH=src`` instead, which
 is how the tier-1 test command works out of the box.
+
+Build flags are environment-tunable so CI legs and local debugging never
+require editing this file:
+
+``REPRO_KERNEL_CFLAGS``
+    Extra compile flags, shell-quoted (e.g. ``"-O1 -g"``); appended after
+    the defaults so they win.
+``REPRO_KERNEL_SANITIZE=1``
+    The hardened configuration CI's ``asan`` job uses:
+    ``-fsanitize=address,undefined`` (compile *and* link),
+    ``-fno-sanitize-recover=all`` so a UBSAN hit aborts instead of
+    printing-and-continuing, ``-fno-omit-frame-pointer -g`` for readable
+    reports, and ``-Wall -Wextra -Werror`` so new warnings in the C
+    kernel fail the build.  Running the resulting extension requires the
+    ASAN runtime to be loaded first (``LD_PRELOAD=$(gcc
+    -print-file-name=libasan.so)``) and CPython's intentional exit leaks
+    silenced (``ASAN_OPTIONS=detect_leaks=0``); see scripts/ci.sh.
 """
 
 import os
+import shlex
 
 from setuptools import Extension, setup
 from setuptools.command.build_ext import build_ext
+
+SANITIZE_COMPILE_ARGS = [
+    "-fsanitize=address,undefined",
+    "-fno-sanitize-recover=all",
+    "-fno-omit-frame-pointer",
+    "-g",
+    "-Wall",
+    "-Wextra",
+    "-Werror",
+]
+SANITIZE_LINK_ARGS = ["-fsanitize=address,undefined"]
+
+
+def _kernel_build_args():
+    """(compile_args, link_args) from the REPRO_KERNEL_* environment."""
+
+    compile_args = []
+    link_args = []
+    if os.environ.get("REPRO_KERNEL_SANITIZE") == "1":
+        compile_args += SANITIZE_COMPILE_ARGS
+        link_args += SANITIZE_LINK_ARGS
+    compile_args += shlex.split(os.environ.get("REPRO_KERNEL_CFLAGS", ""))
+    return compile_args, link_args
 
 
 class optional_build_ext(build_ext):
@@ -55,11 +96,15 @@ class optional_build_ext(build_ext):
         )
 
 
+_compile_args, _link_args = _kernel_build_args()
+
 setup(
     ext_modules=[
         Extension(
             "repro.baselines._sabre_kernel",
             sources=["src/repro/baselines/_sabre_kernel.c"],
+            extra_compile_args=_compile_args,
+            extra_link_args=_link_args,
         )
     ],
     cmdclass={"build_ext": optional_build_ext},

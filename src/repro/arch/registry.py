@@ -112,6 +112,8 @@ def architecture_names() -> Tuple[str, ...]:
 
 @register_architecture("sycamore", label="{size}*{size} Sycamore")
 def _sycamore(size: int) -> Topology:
+    """Google Sycamore-style diagonal grid patch (Section 2.2)."""
+
     return SycamoreTopology(size)
 
 
@@ -119,6 +121,8 @@ def _sycamore(size: int) -> Topology:
     "heavyhex", synonyms=("heavy-hex", "caterpillar"), label="Heavy-hex {size}*5"
 )
 def _heavyhex(size: int) -> Topology:
+    """IBM heavy-hex caterpillar of ``size`` regular 5-qubit groups."""
+
     return CaterpillarTopology.regular_groups(size)
 
 
@@ -128,14 +132,20 @@ def _heavyhex(size: int) -> Topology:
     label="Lattice surgery {size}*{size}",
 )
 def _lattice(size: int) -> Topology:
+    """Fault-tolerant lattice-surgery grid of logical patches."""
+
     return LatticeSurgeryTopology(size)
 
 
 @register_architecture("grid", label="Grid {size}*{size}")
 def _grid(size: int) -> Topology:
+    """Plain square nearest-neighbour grid (the SABRE comparison device)."""
+
     return GridTopology(size, size)
 
 
 @register_architecture("lnn", synonyms=("line",), label="{kind} {size}")
 def _lnn(size: int) -> Topology:
+    """Linear nearest-neighbour chain (Section 2.1's 1-D baseline)."""
+
     return LNNTopology(size)

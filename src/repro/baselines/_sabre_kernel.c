@@ -702,6 +702,10 @@ static struct PyModuleDef kernel_module = {
     "Compiled SABRE routing kernel (bit-identical to the Python paths).",
     -1,
     kernel_methods,
+    NULL, /* m_slots */
+    NULL, /* m_traverse */
+    NULL, /* m_clear */
+    NULL, /* m_free */
 };
 
 PyMODINIT_FUNC

@@ -196,7 +196,7 @@ def cascade_on_line(
     # pending_pair_count = #pending pairs within the participant set,
     # h_missing    = #participants still owed their Hadamard.
     part_sorted = sorted(part)
-    pend_in: Dict[int, int] = {q: 0 for q in part}
+    pend_in: Dict[int, int] = {q: 0 for q in part_sorted}
     pending_pair_count = 0
     if len(part) == tracker.n:
         # whole-circuit cascade (the LNN mapper): the tracker's own per-qubit

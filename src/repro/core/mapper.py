@@ -72,26 +72,36 @@ def mapper_for(topology: Topology, *, strict_ie: bool = False):
 
 @register_specialist(LNNTopology)
 def _lnn_specialist(topology: Topology, strict_ie: bool):
+    """Analytic QFT cascade along the line (Section 4)."""
+
     return LNNQFTMapper(topology)
 
 
 @register_specialist(CaterpillarTopology, HeavyHexTopology)
 def _heavy_hex_specialist(topology: Topology, strict_ie: bool):
+    """Caterpillar/heavy-hex QFT construction (Section 5)."""
+
     return HeavyHexQFTMapper(topology)
 
 
 @register_specialist(SycamoreTopology)
 def _sycamore_specialist(topology: Topology, strict_ie: bool):
+    """Sycamore diagonal-sweep QFT construction (Section 6)."""
+
     return SycamoreQFTMapper(topology, strict_ie=strict_ie)
 
 
 @register_specialist(LatticeSurgeryTopology)
 def _lattice_specialist(topology: Topology, strict_ie: bool):
+    """Lattice-surgery QFT via patch-row cascades (Section 6.2)."""
+
     return LatticeSurgeryQFTMapper(topology, strict_ie=strict_ie)
 
 
 @register_specialist(GridTopology)
 def _grid_specialist(topology: Topology, strict_ie: bool):
+    """Square-grid QFT via boustrophedon row cascades."""
+
     return GridQFTMapper(topology, strict_ie=strict_ie)
 
 

@@ -1,0 +1,102 @@
+"""CLI for ``repro.lint``: ``python -m repro.lint [paths] [options]``.
+
+Exit status is the contract CI relies on: 0 when every finding is either
+absent or absorbed by the baseline *and* the baseline has no stale
+entries; 1 otherwise.  Findings print one per line as
+``file:line:checker:message`` (sorted, so output is diffable);
+``--fix-hints`` adds an indented hint line under each.
+
+``--write-baseline`` bootstraps/refreshes the baseline from the current
+findings -- the only sanctioned way to edit it besides deleting lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+
+from . import CHECKERS, run_lint
+from .baseline import apply_baseline, format_baseline, load_baseline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant checker (determinism, cache-key "
+        "purity, registry hygiene, error discipline)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="shrink-only baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--fix-hints", action="store_true",
+        help="print a suggested fix under each finding",
+    )
+    parser.add_argument(
+        "--checker", action="append", metavar="NAME",
+        help="run only the named checker(s) (any registered spelling)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered checkers"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in CHECKERS.names():
+            checker = CHECKERS.get(name)
+            synonyms = CHECKERS.synonyms(name)
+            alias = f" (synonyms: {', '.join(synonyms)})" if synonyms else ""
+            print(f"{name}{alias}\n    {checker.description}")
+        return 0
+
+    findings = run_lint(args.paths, only=args.checker)
+
+    if args.write_baseline:
+        if not args.baseline:
+            parser.error("--write-baseline requires --baseline FILE")
+        Path(args.baseline).write_text(
+            format_baseline(findings), encoding="utf-8"
+        )
+        print(
+            f"wrote {len(findings)} grandfathered finding(s) to "
+            f"{args.baseline}"
+        )
+        return 0
+
+    baseline = Counter()
+    if args.baseline and Path(args.baseline).is_file():
+        baseline = load_baseline(Path(args.baseline))
+    new, grandfathered, stale = apply_baseline(findings, baseline)
+
+    for finding in new:
+        print(finding.render())
+        if args.fix_hints and finding.hint:
+            print(f"    hint: {finding.hint}")
+    for key in stale:
+        print(
+            f"stale baseline entry (violation fixed -- delete the line): "
+            f"{key}"
+        )
+
+    summary = (
+        f"repro.lint: {len(new)} finding(s), "
+        f"{len(grandfathered)} baselined, {len(stale)} stale baseline "
+        f"entr{'y' if len(stale) == 1 else 'ies'}"
+    )
+    print(summary, file=sys.stderr)
+    return 1 if new or stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""The shrink-only baseline: grandfathered findings that may only go away.
+
+A lint gate retrofitted onto a living tree needs a way to adopt the rules
+without fixing every historical violation in one commit.  The baseline
+file is that mechanism, with one hard property: **it may only shrink**.
+
+* Each line is a finding's :attr:`~repro.lint.framework.Finding.baseline_key`
+  (``path:checker:message`` -- deliberately line-number-free, so
+  unrelated edits shifting code do not churn the file).  ``#`` comments
+  and blank lines are ignored; a comment above each entry should say why
+  it is grandfathered rather than fixed.
+* A fresh finding **not** in the baseline fails the run (new debt is
+  rejected).
+* A baseline entry **not** matched by any fresh finding also fails the
+  run, as *stale*: the violation was fixed, so the entry must be deleted
+  in the same change.  This is what makes the file shrink-only -- it
+  cannot quietly accumulate entries for code that no longer exists, and
+  every fix permanently ratchets the gate tighter.
+
+Entries are counted as a multiset: two identical findings in one file
+need two baseline lines, so fixing one of them still ratchets.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from .framework import Finding
+
+__all__ = ["load_baseline", "apply_baseline", "format_baseline"]
+
+
+def load_baseline(path: Path) -> Counter:
+    """Parse a baseline file into a multiset of finding keys."""
+
+    entries: Counter = Counter()
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        entries[line] += 1
+    return entries
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: Counter
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings against the baseline.
+
+    Returns ``(new, grandfathered, stale)``: findings not covered by the
+    baseline, findings the baseline absorbs, and baseline entries no
+    fresh finding matches (which must be deleted -- shrink-only).
+    """
+
+    remaining = Counter(baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(
+        key for key, count in remaining.items() for _ in range(count)
+    )
+    return new, grandfathered, stale
+
+
+def format_baseline(findings: Iterable[Finding]) -> str:
+    """Render findings as baseline-file content (for bootstrapping)."""
+
+    lines = [
+        "# repro.lint baseline -- grandfathered findings, shrink-only.",
+        "# A fixed finding MUST be removed from this file in the same",
+        "# change (stale entries fail the lint run).  Document why each",
+        "# remaining entry is grandfathered rather than fixed.",
+        "",
+    ]
+    lines.extend(sorted(f.baseline_key for f in findings))
+    return "\n".join(lines) + "\n"

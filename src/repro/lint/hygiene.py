@@ -1,0 +1,230 @@
+"""The registry-hygiene checker: every registered name earns its keep.
+
+The PR-3 registries (workloads, approaches, architectures, executors,
+experiments) are the repo's public vocabulary: names appear in the CLI,
+in cache keys and in the paper tables.  Three kinds of rot creep into
+registration tables that nothing re-reads:
+
+* **Undocumented entries.**  Every ``@register_*`` target must carry a
+  docstring -- ``--list`` output, did-you-mean errors and the README
+  tables are generated from registrations, and an entry nobody described
+  is an entry nobody can choose deliberately.
+* **Colliding synonyms.**  The runtime raises
+  :class:`~repro.registry.DuplicateRegistrationError` at import time, but
+  only for modules that actually get imported together; the lint check
+  sees every registration in the tree at once, case-insensitively, and
+  pins collisions before any interpreter does.
+* **Untested names.**  A registered name no test ever spells is a name
+  that can break (or vanish) without CI noticing.  Each canonical name
+  must appear as a string literal somewhere under ``tests/``.
+
+Registration sites are recognized syntactically: ``@register_<kind>``
+decorators with a literal first-argument name (approaches,
+architectures, executors, experiments), the bare ``@register_workload``
+class decorator (name/synonyms read from class-body assignments), and
+``@register_specialist`` (no name -- docstring rule only).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .framework import (
+    Checker,
+    Finding,
+    Module,
+    Project,
+    dotted_name,
+    register_checker,
+)
+
+__all__ = ["RegistryHygieneChecker"]
+
+#: decorator names treated as registrations (suffix -> registry family)
+_DECORATOR_PREFIX = "register_"
+
+#: registration decorators that carry no name (docstring rule only)
+_NAMELESS = frozenset({"register_specialist"})
+
+
+class _Registration:
+    def __init__(
+        self,
+        module: Module,
+        node: ast.AST,
+        family: str,
+        name: Optional[str],
+        synonyms: Tuple[str, ...],
+        has_docstring: bool,
+        target: str,
+    ) -> None:
+        self.module = module
+        self.node = node
+        self.family = family
+        self.name = name
+        self.synonyms = synonyms
+        self.has_docstring = has_docstring
+        self.target = target  # decorated function/class name, for messages
+
+
+def _literal_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _literal_str_tuple(node: ast.AST) -> Tuple[str, ...]:
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        out = []
+        for elt in node.elts:
+            s = _literal_str(elt)
+            if s is not None:
+                out.append(s)
+        return tuple(out)
+    return ()
+
+
+@register_checker("registry-hygiene", synonyms=("hygiene", "registry"))
+class RegistryHygieneChecker(Checker):
+    """Audits every @register_* site for docs, collisions and test cover."""
+
+    description = (
+        "every @register_* entry has a docstring, collision-free synonyms, "
+        "and a test referencing its canonical name"
+    )
+    hint = (
+        "document the entry, deduplicate its synonyms, and reference the "
+        "name from a test"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        registrations: List[_Registration] = []
+        for module in project.targets:
+            registrations.extend(self._registrations(module))
+        yield from self._check_docstrings(registrations)
+        yield from self._check_collisions(registrations)
+        yield from self._check_test_references(project, registrations)
+
+    # ------------------------------------------------------------------
+    def _registrations(self, module: Module) -> Iterator[_Registration]:
+        for node in ast.walk(module.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for dec in node.decorator_list:
+                reg = self._parse_decorator(module, node, dec)
+                if reg is not None:
+                    yield reg
+
+    def _parse_decorator(
+        self, module: Module, node: ast.AST, dec: ast.AST
+    ) -> Optional[_Registration]:
+        if isinstance(dec, ast.Call):
+            dec_name = dotted_name(dec.func)
+        else:
+            dec_name = dotted_name(dec)
+        tail = dec_name.split(".")[-1]
+        if not tail.startswith(_DECORATOR_PREFIX):
+            return None
+        family = tail[len(_DECORATOR_PREFIX):]
+        if not family:
+            return None
+        has_doc = ast.get_docstring(node) is not None
+        name: Optional[str] = None
+        synonyms: Tuple[str, ...] = ()
+        if isinstance(dec, ast.Call):
+            if dec.args:
+                name = _literal_str(dec.args[0])
+            for kw in dec.keywords:
+                if kw.arg == "synonyms":
+                    synonyms = _literal_str_tuple(kw.value)
+                elif kw.arg == "description" and (_literal_str(kw.value) or ""):
+                    # an inline description literal is documentation too
+                    # (the experiment registry prefers it over __doc__)
+                    has_doc = True
+        if tail in _NAMELESS:
+            name = None
+        elif name is None and isinstance(node, ast.ClassDef):
+            # bare class decorator (@register_workload): read class body
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                ):
+                    if stmt.targets[0].id == "name":
+                        name = _literal_str(stmt.value)
+                    elif stmt.targets[0].id == "synonyms":
+                        synonyms = _literal_str_tuple(stmt.value)
+        return _Registration(
+            module, node, family, name, synonyms, has_doc,
+            target=getattr(node, "name", "<anonymous>"),
+        )
+
+    # ------------------------------------------------------------------
+    def _check_docstrings(
+        self, registrations: List[_Registration]
+    ) -> Iterator[Finding]:
+        for reg in registrations:
+            if not reg.has_docstring:
+                label = reg.name or reg.target
+                yield self.finding(
+                    reg.module, reg.node,
+                    f"registered {reg.family} {label!r} has no docstring; "
+                    "registry tables and --list output read it",
+                    hint="add a docstring describing the entry",
+                )
+
+    def _check_collisions(
+        self, registrations: List[_Registration]
+    ) -> Iterator[Finding]:
+        claimed: Dict[Tuple[str, str], str] = {}
+        for reg in registrations:
+            if reg.name is None:
+                continue
+            spellings = [reg.name, *reg.synonyms]
+            local_seen = set()
+            for spelling in spellings:
+                key = (reg.family, spelling.lower())
+                if spelling.lower() in local_seen:
+                    yield self.finding(
+                        reg.module, reg.node,
+                        f"{reg.family} {reg.name!r} lists synonym "
+                        f"{spelling!r} more than once",
+                    )
+                    continue
+                local_seen.add(spelling.lower())
+                if key in claimed:
+                    yield self.finding(
+                        reg.module, reg.node,
+                        f"{reg.family} name {spelling!r} (registered by "
+                        f"{reg.name!r}) collides with {claimed[key]!r}",
+                        hint="pick a unique spelling; the runtime would "
+                        "raise DuplicateRegistrationError at import time",
+                    )
+                else:
+                    claimed[key] = reg.name
+        return
+
+    def _check_test_references(
+        self, project: Project, registrations: List[_Registration]
+    ) -> Iterator[Finding]:
+        tests = project.tests_text()
+        if not tests:
+            # no tests tree next to the linted files (e.g. linting a loose
+            # snippet): the reference rule has nothing to check against
+            return
+        for reg in registrations:
+            if reg.name is None:
+                continue
+            if f'"{reg.name}"' in tests or f"'{reg.name}'" in tests:
+                continue
+            yield self.finding(
+                reg.module, reg.node,
+                f"registered {reg.family} {reg.name!r} is never referenced "
+                "by name in any test",
+                hint="add a test that exercises the entry through the "
+                "registry by its canonical name",
+            )

@@ -1,0 +1,85 @@
+"""Determinism fixtures that MUST each produce a finding.
+
+Every function below exhibits one pattern the determinism checker exists
+to catch; ``test_determinism.py`` asserts one finding per marked line.
+The file is never imported -- it is linted as data.
+"""
+
+import glob
+import os
+import random
+import time
+
+
+def set_iteration_append(tags):
+    out = []
+    for t in set(tags):  # FINDING: set iteration feeds .append
+        out.append(t)
+    return out
+
+
+def set_iteration_yield(tags):
+    pending = set(tags)
+    for t in pending:  # FINDING: set-typed name iterated into yield
+        yield t
+
+
+def set_comprehension_list(tags):
+    return [t for t in set(tags)]  # FINDING: list built from set order
+
+
+def set_comprehension_dict(tags):
+    return {t: 0 for t in set(tags)}  # FINDING: dict inherits set order
+
+
+def set_union_iteration(a, b):
+    out = []
+    for x in set(a) | set(b):  # FINDING: set operator result iterated
+        out.append(x)
+    return out
+
+
+def string_set_literal():
+    out = []
+    for name in {"alpha", "beta"}:  # FINDING: string hashes are salted
+        out.append(name)
+    return out
+
+
+def listdir_return(d):
+    return os.listdir(d)  # FINDING: fs order escapes
+
+
+def glob_comprehension(d):
+    return [p for p in glob.glob(d + "/*.json")]  # FINDING
+
+
+def path_glob_loop(root):
+    out = []
+    for p in root.glob("*.json"):  # FINDING: Path.glob unsorted
+        out.append(p)
+    return out
+
+
+def global_random_choice(xs):
+    return random.choice(xs)  # FINDING: hidden global RNG
+
+
+def global_random_shuffle(xs):
+    random.shuffle(xs)  # FINDING: hidden global RNG
+
+
+def global_random_seed():
+    random.seed(0)  # FINDING: seeding the global is still global state
+
+
+def unseeded_instance():
+    return random.Random()  # FINDING: no seed argument
+
+
+def clock_as_seed():
+    return random.Random(time.time())  # FINDING: wall clock used as seed
+
+
+def clock_into_payload():
+    return {"run_id": time.time_ns()}  # FINDING: clock into non-timing key

@@ -1,0 +1,84 @@
+"""Determinism fixtures that MUST all pass clean.
+
+Each function is the sanctioned counterpart of a ``bad_snippets.py``
+pattern: sorted iteration, order-insensitive consumption, seeded RNG
+instances, wall-clock confined to timing bookkeeping.
+"""
+
+import glob
+import os
+import random
+import time
+
+
+def sorted_set_iteration(tags):
+    out = []
+    for t in sorted(set(tags)):
+        out.append(t)
+    return out
+
+
+def set_membership(tags, probe):
+    seen = set(tags)
+    return probe in seen
+
+
+def set_commutative_fold(values):
+    total = 0
+    for v in set(values):
+        total += v  # commutative: order cannot be observed
+    return total
+
+
+def set_comprehension_stays_set(tags):
+    return {t.strip() for t in set(tags)}
+
+
+def sorted_comprehension(tags):
+    return sorted(t for t in set(tags))
+
+
+def numeric_literal_set():
+    out = []
+    for k in {1, 2, 3}:  # int hashes are unsalted: stable order
+        out.append(k)
+    return out
+
+
+def sorted_listdir(d):
+    return sorted(os.listdir(d))
+
+
+def sorted_glob(d):
+    return sorted(glob.glob(d + "/*.json"))
+
+
+def counted_glob(root):
+    return sum(1 for _ in root.glob("*.json"))
+
+
+def listdir_len(d):
+    return len(os.listdir(d))
+
+
+def listdir_membership(d, name):
+    return name in os.listdir(d)
+
+
+def seeded_rng(seed):
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def timing_bookkeeping():
+    start = time.perf_counter()
+    wall_s = time.perf_counter() - start
+    return {"wall_s": wall_s}
+
+
+def deadline_check(deadline):
+    return time.monotonic() > deadline
+
+
+def suppressed_listing(d):
+    return os.listdir(d)  # repro-lint: ignore[determinism]

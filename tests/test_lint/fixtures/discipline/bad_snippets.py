@@ -1,0 +1,44 @@
+"""Error-discipline fixtures that MUST each produce a finding."""
+
+
+def bare_except(fn):
+    try:
+        return fn()
+    except:  # FINDING: bare except
+        return None
+
+
+def swallowed_exception(fn):
+    try:
+        return fn()
+    except Exception:  # FINDING: broad catch, empty body
+        pass
+
+
+def swallowed_base_exception(fn):
+    try:
+        return fn()
+    except BaseException:  # FINDING: even broader, still silent
+        ...
+
+
+def swallowed_in_tuple(fn):
+    try:
+        return fn()
+    except (ValueError, Exception):  # FINDING: Exception hides in a tuple
+        pass
+
+
+def swallow_with_continue(items, fn):
+    out = []
+    for item in items:
+        try:
+            out.append(fn(item))
+        except Exception:  # FINDING: continue-only body swallows too
+            continue
+    return out
+
+
+def assert_control_flow(x):
+    assert x > 0  # FINDING: stripped under python -O
+    return x

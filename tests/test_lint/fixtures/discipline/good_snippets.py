@@ -1,0 +1,37 @@
+"""Error-discipline fixtures that MUST all pass clean."""
+
+
+def narrow_catch(fn):
+    try:
+        return fn()
+    except (OSError, ValueError):
+        return None
+
+
+def broad_catch_with_handling(fn, log):
+    try:
+        return fn()
+    except Exception as exc:
+        log.warning("fn failed: %r", exc)
+        return None
+
+
+def broad_catch_reraise(fn, cleanup):
+    try:
+        return fn()
+    except BaseException:
+        cleanup()
+        raise
+
+
+def typed_raise(x):
+    if x <= 0:
+        raise ValueError(f"x must be positive, got {x}")
+    return x
+
+
+def suppressed_swallow(fn):
+    try:
+        return fn()
+    except Exception:  # repro-lint: ignore[error-discipline]
+        pass

@@ -1,0 +1,47 @@
+"""Registry-hygiene fixtures that MUST each produce a finding.
+
+The checker recognizes ``@register_*`` decorators syntactically, so these
+stub decorators exercise it without importing any registry.
+"""
+
+
+def register_approach(name, **kwargs):
+    def deco(fn):
+        return fn
+
+    return deco
+
+
+def register_workload(cls):
+    return cls
+
+
+@register_approach("undocumented")
+def _undocumented(topology):  # FINDING: no docstring
+    return topology
+
+
+@register_approach("dup-synonym", synonyms=("dup", "dup"))
+def _dup_synonym(topology):  # FINDING: synonym repeated
+    """Registers the same synonym twice."""
+
+    return topology
+
+
+@register_approach("collider", synonyms=("shared-name",))
+def _collider(topology):
+    """First claimant of 'shared-name'."""
+
+    return topology
+
+
+@register_approach("Shared-Name")
+def _shadowing(topology):  # FINDING: collides case-insensitively
+    """Second claimant of 'shared-name'."""
+
+    return topology
+
+
+@register_workload
+class UndocumentedWorkload:  # FINDING: no docstring (name from body)
+    name = "undocumented-workload"

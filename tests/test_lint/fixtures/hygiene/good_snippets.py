@@ -1,0 +1,39 @@
+"""Registry-hygiene fixtures that MUST all pass clean (sans test refs)."""
+
+
+def register_approach(name, **kwargs):
+    def deco(fn):
+        return fn
+
+    return deco
+
+
+def register_experiment(name, **kwargs):
+    def deco(fn):
+        return fn
+
+    return deco
+
+
+def register_workload(cls):
+    return cls
+
+
+@register_approach("documented", synonyms=("doc", "docd"))
+def _documented(topology):
+    """A properly documented entry with unique synonyms."""
+
+    return topology
+
+
+@register_experiment("described", description="description kwarg counts")
+def _described(profile):
+    return [profile]
+
+
+@register_workload
+class DocumentedWorkload:
+    """A documented workload; name/synonyms read from the class body."""
+
+    name = "documented-workload"
+    synonyms = ("dw",)

@@ -1,0 +1,3 @@
+"""Mini-project stand-in for repro.approaches (purity fixture context)."""
+
+ENGINE_KWARGS = frozenset({"kernel"})

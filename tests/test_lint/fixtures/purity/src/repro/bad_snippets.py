@@ -1,0 +1,38 @@
+"""Cache-purity fixtures that MUST each produce a finding."""
+
+import hashlib
+
+from .approaches import ENGINE_KWARGS  # noqa: F401  (imported, unused here)
+
+
+class ResultCache:
+    """Identity sink whose kwargs flow is missing the no-fork filter."""
+
+    def key(self, approach, kwargs=()):
+        payload = ",".join(
+            f"{k}={v!r}" for k, v in sorted(kwargs)  # FINDING: no guard
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def hash_options(options):
+    # autodetected sink: hashlib digest fed from an options-like param
+    return hashlib.sha256(repr(sorted(options)).encode()).hexdigest()  # FINDING
+
+
+def direct_injection(cache):
+    # engine kwarg literal passed straight into the sink
+    return cache.key("sabre", kwargs=[("kernel", "c"), ("seed", 1)])  # FINDING
+
+
+def forwarding_wrapper(cache, kwargs):
+    return cache.key("sabre", kwargs=kwargs)
+
+
+def transitive_injection(cache):
+    # the literal enters one wrapper above the sink
+    return forwarding_wrapper(cache, [("kernel", "python")])  # FINDING
+
+
+ENGINE_KWARGS_COPY = None
+ENGINE_KWARGS = frozenset({"kernel"})  # FINDING: second definition drifts

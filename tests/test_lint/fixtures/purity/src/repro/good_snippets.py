@@ -1,0 +1,36 @@
+"""Cache-purity fixtures that MUST all pass clean."""
+
+import hashlib
+
+from .approaches import ENGINE_KWARGS
+
+
+class ResultCache:
+    """Identity sink with the sanctioned ENGINE_KWARGS filter."""
+
+    def key(self, approach, kwargs=()):
+        payload = ",".join(
+            f"{k}={v!r}"
+            for k, v in sorted(kwargs)
+            if str(k) not in ENGINE_KWARGS
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def hash_options(options):
+    """Autodetected sink, filtered: clean."""
+
+    kept = {k: v for k, v in options.items() if k not in ENGINE_KWARGS}
+    return hashlib.sha256(repr(sorted(kept.items())).encode()).hexdigest()
+
+
+def clean_call_site(cache):
+    return cache.key("sabre", kwargs=[("seed", 1), ("passes", 3)])
+
+
+def forwarding_wrapper(cache, kwargs):
+    return cache.key("sabre", kwargs=kwargs)
+
+
+def clean_transitive(cache):
+    return forwarding_wrapper(cache, [("seed", 2)])

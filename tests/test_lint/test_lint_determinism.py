@@ -1,0 +1,59 @@
+"""The ``determinism`` checker against its fixture pair.
+
+Contract: every ``# FINDING`` line in ``bad_snippets.py`` produces exactly
+one finding on that line, and ``good_snippets.py`` (the sanctioned
+counterparts, including a per-line suppression) is completely clean.
+"""
+
+BAD = "determinism/bad_snippets.py"
+GOOD = "determinism/good_snippets.py"
+
+
+def test_bad_fixture_flags_every_marked_line(lint_fixture, marked_lines):
+    findings = lint_fixture(BAD, only=["determinism"])
+    assert [f.line for f in findings] == marked_lines(BAD)
+    assert all(f.checker == "determinism" for f in findings)
+    assert all(f.path == "bad_snippets.py" for f in findings)
+
+
+def test_good_fixture_is_clean(lint_fixture):
+    assert lint_fixture(GOOD, only=["determinism"]) == []
+
+
+def test_messages_name_the_failure_mode(lint_fixture):
+    findings = lint_fixture(BAD, only=["determinism"])
+    blob = "\n".join(f.message for f in findings)
+    assert "PYTHONHASHSEED" in blob  # set-iteration rule
+    assert "global RNG" in blob  # unseeded random.* rule
+    assert "directory listing" in blob  # listdir/glob rule
+    assert "wall-clock" in blob  # clock-flow rule
+
+
+def test_set_iteration_needs_an_ordered_sink(tmp_path, repo_root):
+    """Membership tests and commutative folds over sets stay unflagged;
+    the same iteration feeding .append() is flagged."""
+
+    from repro.lint import run_lint
+
+    src = tmp_path / "snippet.py"
+    src.write_text(
+        "def fold(values):\n"
+        "    total = 0\n"
+        "    for v in set(values):\n"
+        "        total += v\n"
+        "    return total\n"
+        "\n"
+        "def ordered(values):\n"
+        "    out = []\n"
+        "    for v in set(values):\n"
+        "        out.append(v)\n"
+        "    return out\n"
+    )
+    findings = run_lint([src], root=tmp_path, only=["determinism"])
+    assert [f.line for f in findings] == [9]
+
+
+def test_synonyms_resolve_to_determinism(lint_fixture, marked_lines):
+    for spelling in ("det", "ordering"):
+        findings = lint_fixture(BAD, only=[spelling])
+        assert [f.line for f in findings] == marked_lines(BAD)

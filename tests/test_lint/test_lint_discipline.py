@@ -1,0 +1,40 @@
+"""The ``error-discipline`` checker against its fixture pair."""
+
+BAD = "discipline/bad_snippets.py"
+GOOD = "discipline/good_snippets.py"
+
+
+def test_bad_fixture_flags_every_marked_line(lint_fixture, marked_lines):
+    findings = lint_fixture(BAD, only=["error-discipline"])
+    assert [f.line for f in findings] == marked_lines(BAD)
+    assert all(f.checker == "error-discipline" for f in findings)
+
+
+def test_good_fixture_is_clean(lint_fixture):
+    assert lint_fixture(GOOD, only=["error-discipline"]) == []
+
+
+def test_messages_distinguish_bare_broad_and_assert(lint_fixture):
+    findings = lint_fixture(BAD, only=["error-discipline"])
+    blob = "\n".join(f.message for f in findings)
+    assert "bare except" in blob
+    assert "except Exception:" in blob
+    assert "except BaseException:" in blob
+    assert "python -O" in blob
+
+
+def test_asserts_allowed_in_test_code(tmp_path):
+    """The assert rule is scoped to library code: files under tests/ (or
+    named test_*) keep their asserts."""
+
+    from repro.lint import run_lint
+
+    lib = tmp_path / "src" / "lib.py"
+    lib.parent.mkdir(parents=True)
+    lib.write_text("def f(x):\n    assert x\n    return x\n")
+    test = tmp_path / "tests" / "test_lib.py"
+    test.parent.mkdir(parents=True)
+    test.write_text("def test_f():\n    assert True\n")
+
+    findings = run_lint([tmp_path], root=tmp_path, only=["error-discipline"])
+    assert [(f.path, f.line) for f in findings] == [("src/lib.py", 2)]

@@ -1,0 +1,85 @@
+"""The ``registry-hygiene`` checker against its fixture pair.
+
+The fixtures define stub ``register_*`` decorators in-file (registration
+sites are recognized syntactically, nothing is imported).  The fixture
+directory has no ``tests/`` tree, so the test-reference rule is exercised
+separately against a synthetic mini-project.
+"""
+
+from repro.lint import run_lint
+
+BAD = "hygiene/bad_snippets.py"
+GOOD = "hygiene/good_snippets.py"
+
+
+def test_bad_fixture_flags_every_marked_line(lint_fixture, marked_lines):
+    findings = lint_fixture(BAD, only=["registry-hygiene"])
+    assert [f.line for f in findings] == marked_lines(BAD)
+    assert all(f.checker == "registry-hygiene" for f in findings)
+
+
+def test_good_fixture_is_clean(lint_fixture):
+    assert lint_fixture(GOOD, only=["registry-hygiene"]) == []
+
+
+def test_messages_name_each_rot_kind(lint_fixture):
+    findings = lint_fixture(BAD, only=["registry-hygiene"])
+    blob = "\n".join(f.message for f in findings)
+    assert "has no docstring" in blob
+    assert "more than once" in blob  # duplicated synonym
+    assert "collides with" in blob  # case-insensitive cross-entry clash
+    assert "'undocumented-workload'" in blob  # name read from class body
+
+
+def _mini_project(tmp_path, tests_body):
+    src = tmp_path / "src" / "mod.py"
+    src.parent.mkdir(parents=True)
+    src.write_text(
+        "def register_approach(name, **kwargs):\n"
+        "    def deco(fn):\n"
+        "        return fn\n"
+        "    return deco\n"
+        "\n"
+        '@register_approach("ghost-name")\n'
+        "def _ghost(topology):\n"
+        '    """Documented, but possibly untested."""\n'
+        "    return topology\n"
+    )
+    tests = tmp_path / "tests" / "test_mod.py"
+    tests.parent.mkdir(parents=True)
+    tests.write_text(tests_body)
+    return src
+
+
+def test_unreferenced_name_is_flagged(tmp_path):
+    src = _mini_project(tmp_path, "def test_nothing():\n    pass\n")
+    findings = run_lint([src], root=tmp_path, only=["registry-hygiene"])
+    assert len(findings) == 1
+    assert "'ghost-name'" in findings[0].message
+    assert "never referenced" in findings[0].message
+
+
+def test_referenced_name_passes(tmp_path):
+    src = _mini_project(
+        tmp_path,
+        'def test_ghost():\n    assert "ghost-name"\n',
+    )
+    assert run_lint([src], root=tmp_path, only=["registry-hygiene"]) == []
+
+
+def test_reference_rule_skipped_without_tests_tree(tmp_path):
+    """Linting a loose snippet (no tests/ dir) must not demand test refs."""
+
+    src = tmp_path / "mod.py"
+    src.write_text(
+        "def register_approach(name, **kwargs):\n"
+        "    def deco(fn):\n"
+        "        return fn\n"
+        "    return deco\n"
+        "\n"
+        '@register_approach("loose")\n'
+        "def _loose(topology):\n"
+        '    """Documented."""\n'
+        "    return topology\n"
+    )
+    assert run_lint([src], root=tmp_path, only=["registry-hygiene"]) == []
