@@ -57,6 +57,59 @@ if [ "${1:-}" = "--asan-only" ]; then
 fi
 
 # ---------------------------------------------------------------------------
+# Chaos smoke: the fault-tolerance contract, exercised for real.  A serial
+# reference run journals fig27; then a dispatcher run computes the same plan
+# with injected faults -- worker w0 SIGKILLed mid-run, worker w1's
+# heartbeats frozen while it stalls past its lease -- and the two journals
+# must agree cell for cell on every pinned metric.  The report must also
+# show the dispatcher actually reassigned leases: a chaos spec that fires
+# nothing would "pass" vacuously.
+# ---------------------------------------------------------------------------
+chaos_smoke() {
+    echo "=== chaos smoke: dispatcher (kill + frozen heartbeat) vs serial ==="
+    local chaos_dir
+    chaos_dir=$(mktemp -d)
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.eval -e fig27 \
+        --executor shard-coordinator --journal "$chaos_dir/serial" | tail -2
+    local chaos_out
+    chaos_out=$(REPRO_CHAOS="kill-worker@worker=w0,cell=1;freeze-heartbeat@worker=w1,cell=2;stall@worker=w1,cell=2,s=1.2" \
+        PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.eval -e fig27 \
+        --executor dispatch --jobs 2 --lease-s 0.4 --heartbeat-s 0.1 \
+        --journal "$chaos_dir/chaos")
+    echo "$chaos_out" | tail -2
+    echo "$chaos_out" | grep -Eq "reassigned=[1-9]" || {
+        echo "ci.sh: FAIL — chaos run never reassigned a lease (faults did not fire?)" >&2
+        exit 1
+    }
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - "$chaos_dir" <<'PY'
+import json, sys
+from pathlib import Path
+
+def cells(path):
+    out = {}
+    for line in Path(path, "journal.jsonl").read_text().splitlines():
+        rec = json.loads(line)
+        if rec.get("type") != "cell":
+            continue
+        r = rec["result"]
+        out[rec["key"]] = (r["approach"], r["status"], r["depth"], r["swap_count"])
+    return out
+
+base = sys.argv[1]
+serial, chaotic = cells(f"{base}/serial"), cells(f"{base}/chaos")
+assert chaotic == serial, f"chaos run != serial run: {chaotic} vs {serial}"
+print(f"chaos smoke ok: {len(serial)} cells bit-equal under worker kill + heartbeat freeze")
+PY
+    rm -rf "$chaos_dir"
+}
+
+if [ "${1:-}" = "--chaos-only" ]; then
+    chaos_smoke
+    echo "ci.sh: chaos-only run complete"
+    exit 0
+fi
+
+# ---------------------------------------------------------------------------
 # SABRE kernel leg.  CI runs this script twice per Python version:
 #   - compiled leg:  REPRO_SABRE_KERNEL=c      (extension built, required)
 #   - fallback leg:  REPRO_SABRE_KERNEL=python (extension never consulted)
@@ -151,6 +204,9 @@ echo "$warm_out" | grep -Eq "cache: [0-9]+ hits, 0 misses" || {
     echo "ci.sh: FAIL — merged shard caches did not serve the full sweep warm" >&2
     exit 1
 }
+
+echo
+chaos_smoke
 
 echo
 echo "=== perf smoke: fixed compile-time micro-suite ==="

@@ -17,7 +17,7 @@ from .runners import (
 )
 from .cache import CacheMergeConflict, ResultCache, code_version
 from .parallel import CellSpec, run_cells
-from .journal import RunJournal, cell_key
+from .journal import JournalCorruptError, RunJournal, cell_key
 from .executors import (
     EXECUTOR_REGISTRY,
     ExecutionContext,
@@ -28,6 +28,7 @@ from .executors import (
     register_executor,
     run_specs,
 )
+from .dispatch import DispatchClient, DispatchServer, run_worker
 from .runs import (
     EXPERIMENT_REGISTRY,
     ExperimentEntry,
@@ -72,7 +73,11 @@ __all__ = [
     "CellSpec",
     "run_cells",
     "RunJournal",
+    "JournalCorruptError",
     "cell_key",
+    "DispatchClient",
+    "DispatchServer",
+    "run_worker",
     "EXECUTOR_REGISTRY",
     "ExecutionContext",
     "ExecutionOutcome",

@@ -14,9 +14,10 @@ executor.  Useful flags::
                            experiment (qft, qaoa, random, or any plugin);
                            implies -e sweep when no experiment is given
     --jobs N               worker processes (topology-grouped fan-out)
-    --executor NAME        serial | pool | shard-coordinator (defaults:
-                           serial; pool when --jobs > 1; shard-coordinator
-                           when --journal/--resume is given)
+    --executor NAME        serial | pool | shard-coordinator | dispatch
+                           (defaults: serial; pool when --jobs > 1;
+                           shard-coordinator when --journal/--resume is
+                           given)
     --shard I/N            run slice I of a deterministic N-way partition
                            of the plan, balanced by topology group; the
                            union of all N slices is the full experiment
@@ -32,6 +33,20 @@ executor.  Useful flags::
     --cache-merge DIR...   union sharded cache directories into --cache;
                            entries that disagree under the same key raise
                            instead of silently winning by order
+    --serve [HOST:]PORT    run as a work-stealing dispatcher: serve the
+                           plan's cells as heartbeat-leased work over
+                           HTTP/JSON (implies --executor dispatch; spawns
+                           --jobs local workers too, 0 = serve only)
+    --join URL             run as a worker: join a dispatcher, compute
+                           leased cells until the run completes, then exit
+    --worker-id NAME       worker name for --join (default hostname-pid)
+    --lease-s S            dispatcher lease duration before a silent
+                           worker's cell is stolen back (default 30)
+    --heartbeat-s S        worker heartbeat interval (default lease/4)
+    --journal-fsync N      fsync the journal every N cells (default 1 =
+                           every cell durable; 0 disables fsync)
+    --retry-timeout-mult X scale straggler-retry timeouts by X**attempt
+                           (default 1.0)
 
 A typical two-machine sweep::
 
@@ -42,6 +57,14 @@ A typical two-machine sweep::
     # afterwards, on one host:
     python -m repro.eval --cache merged --cache-merge cache-a cache-b
     python -m repro.eval -e fig19 --profile paper --cache merged   # all hits
+
+Or, fault-tolerantly, as one dispatcher and N joining workers::
+
+    # machine A (dispatcher + journal + 4 local workers)
+    python -m repro.eval -e fig19 --profile paper --serve 0.0.0.0:8765 \\
+        --journal runs/fig19 --jobs 4
+    # machines B, C, ... (any number, join/leave any time)
+    python -m repro.eval --join http://machineA:8765
 """
 
 import sys

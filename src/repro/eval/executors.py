@@ -23,6 +23,12 @@ registries) and expose one method, :meth:`Executor.run`.  Built-ins:
     straggler/timeout cells once before reporting them.  Across hosts, each
     machine executes one ``plan(..., shard=(i, n))`` slice with its own
     journal and cache; ``--cache-merge`` unions the caches afterwards.
+``dispatch``
+    The fault-tolerant work-stealing dispatcher
+    (:mod:`repro.eval.dispatch`): cells are leased over a localhost HTTP
+    queue to dynamically joining worker processes, heartbeats keep leases
+    alive, expired leases are reassigned (fast workers drain what slow or
+    dead ones shed), and the dispatcher is the single journal writer.
 
 Results always come back in spec order, and every cell is deterministic
 given its spec, so the choice of executor (and ``jobs``) never changes the
@@ -31,6 +37,7 @@ metrics -- only the wall-clock time (a property the test suite asserts).
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -38,7 +45,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..registry import Registry
 from .cache import ResultCache
-from .journal import RunJournal, cell_key
+from .journal import RunJournal, cell_key, check_resumable
 from .metrics import CompilationResult
 from .parallel import CellSpec
 from .runners import architecture_key, cached_topology, prepare_topology, run_cell
@@ -52,6 +59,7 @@ __all__ = [
     "get_executor",
     "executor_names",
     "run_specs",
+    "retry_spec",
 ]
 
 
@@ -252,6 +260,16 @@ class ExecutionContext:
     meta: Dict[str, object] = field(default_factory=dict)
     #: how many times a timeout cell is re-dispatched before being reported
     retry_timeouts: int = 1
+    #: factor applied to ``timeout_s`` on each straggler retry (1.0 = same
+    #: budget; >1 lets a marginally-too-slow cell recover instead of timing
+    #: out identically twice)
+    retry_timeout_multiplier: float = 1.0
+    #: journal durability stride: fsync after every N appended cells
+    #: (1 = every cell, 0 = never)
+    journal_fsync_every: int = 1
+    #: dispatcher options (``dispatch`` executor only): host/port binding,
+    #: lease_s, heartbeat_s, spawn_workers, on_start callback
+    dispatch_opts: Dict[str, object] = field(default_factory=dict)
 
 
 @dataclass
@@ -262,6 +280,8 @@ class ExecutionOutcome:
     resumed: int = 0  # cells served from a journal, not re-run
     retried: int = 0  # straggler cells re-dispatched
     recovered: int = 0  # retried cells whose second attempt succeeded
+    reassigned: int = 0  # expired leases returned to the queue (dispatch)
+    dead_workers: int = 0  # workers whose lease expired unheartbeaten
     journal_path: Optional[str] = None
 
 
@@ -292,15 +312,24 @@ def register_executor(name: str, *, synonyms: Sequence[str] = ()):
     return _register
 
 
+def _ensure_builtin_executors() -> None:
+    # The built-in executors below register at module import; the dispatch
+    # executor lives in its own module (it pulls in the HTTP stack), which
+    # must be imported before name resolution can find it.
+    from . import dispatch  # noqa: F401
+
+
 def get_executor(name: str) -> Executor:
     """Resolve an executor by any registered spelling (raises with hints)."""
 
+    _ensure_builtin_executors()
     return EXECUTOR_REGISTRY.get(name)
 
 
 def executor_names() -> Tuple[str, ...]:
     """Canonical names of every registered executor."""
 
+    _ensure_builtin_executors()
     return EXECUTOR_REGISTRY.names()
 
 
@@ -308,8 +337,29 @@ def _require_no_journal(ctx: ExecutionContext, name: str) -> None:
     if ctx.journal_dir or ctx.resume_dir:
         raise ValueError(
             f"executor {name!r} does not journal runs; use the "
-            "'shard-coordinator' executor for --journal/--resume"
+            "'shard-coordinator' or 'dispatch' executor for "
+            "--journal/--resume"
         )
+
+
+def retry_spec(
+    spec: CellSpec, attempt: int, multiplier: float
+) -> CellSpec:
+    """The spec a straggler retry actually runs: timeout scaled per attempt.
+
+    With ``multiplier == 1.0`` (the default) the retry re-dispatches with
+    the same budget, exactly as before; a multiplier > 1 widens the budget
+    geometrically (attempt 1 gets ``timeout_s * multiplier``, attempt 2
+    ``* multiplier**2``, ...), so a cell that missed its budget by a hair
+    can recover instead of timing out identically every time.  Cells with
+    no timeout are returned unchanged.
+    """
+
+    if multiplier == 1.0 or spec.timeout_s is None or attempt < 1:
+        return spec
+    return dataclasses.replace(
+        spec, timeout_s=spec.timeout_s * (multiplier**attempt)
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -370,11 +420,15 @@ class ShardCoordinatorExecutor(Executor):
         journal: Optional[RunJournal] = None
         resumed: Dict[str, CompilationResult] = {}
         if ctx.resume_dir:
-            journal = RunJournal.open(ctx.resume_dir)
+            journal = RunJournal.open(
+                ctx.resume_dir, fsync_every=ctx.journal_fsync_every
+            )
             self._check_resumable(journal.meta, ctx.meta)
             resumed = journal.results()
         elif ctx.journal_dir:
-            journal = RunJournal.create(ctx.journal_dir, ctx.meta)
+            journal = RunJournal.create(
+                ctx.journal_dir, ctx.meta, fsync_every=ctx.journal_fsync_every
+            )
 
         keys = [cell_key(spec) for spec in specs]
         skip = {
@@ -416,7 +470,10 @@ class ShardCoordinatorExecutor(Executor):
                     break
                 retried += len(retry_idx)
                 again = run_specs(
-                    [specs[i] for i in retry_idx],
+                    [
+                        retry_spec(specs[i], attempt, ctx.retry_timeout_multiplier)
+                        for i in retry_idx
+                    ],
                     jobs=min(ctx.jobs, len(retry_idx)),
                     cache=ctx.cache,
                     group_topologies=ctx.group_topologies,
@@ -445,12 +502,4 @@ class ShardCoordinatorExecutor(Executor):
     def _check_resumable(
         journal_meta: Dict[str, object], meta: Dict[str, object]
     ) -> None:
-        for field_name, what in (("code", "code version"), ("plan", "plan")):
-            want = meta.get(field_name)
-            have = journal_meta.get(field_name)
-            if want is not None and have != want:
-                raise ValueError(
-                    f"cannot resume: journal was written by a different "
-                    f"{what} ({have!r} != {want!r}); re-run from scratch "
-                    "instead of mixing results"
-                )
+        check_resumable(journal_meta, meta)

@@ -520,6 +520,22 @@ def run_all(
 # ---------------------------------------------------------------------------
 
 
+def _parse_serve(text: str) -> Tuple[str, int]:
+    """Parse ``--serve [HOST:]PORT`` (bare port binds localhost only)."""
+
+    host, _, port_s = text.rpartition(":")
+    try:
+        port = int(port_s)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--serve expects [HOST:]PORT (e.g. 8765 or 0.0.0.0:8765), "
+            f"got {text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(f"port out of range in {text!r}")
+    return (host or "127.0.0.1", port)
+
+
 def _parse_shard(text: str) -> Tuple[int, int]:
     try:
         index_s, count_s = text.split("/", 1)
@@ -626,6 +642,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "plan required)",
     )
     parser.add_argument(
+        "--serve",
+        type=_parse_serve,
+        default=None,
+        metavar="[HOST:]PORT",
+        help="serve the plan's cells as a work-stealing dispatcher on this "
+        "address (implies --executor dispatch); workers join with --join. "
+        "--jobs local workers are spawned too (use --jobs 0 to only serve)",
+    )
+    parser.add_argument(
+        "--join",
+        metavar="URL",
+        default=None,
+        help="run as a worker: join the dispatcher at URL (e.g. "
+        "http://host:8765), compute leased cells until the run completes, "
+        "then exit; all other experiment options are ignored",
+    )
+    parser.add_argument(
+        "--worker-id",
+        metavar="NAME",
+        default=None,
+        help="worker name to join with (default: hostname-pid)",
+    )
+    parser.add_argument(
+        "--lease-s",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="dispatcher lease duration: a cell whose worker misses "
+        "heartbeats for this long is reassigned (default 30)",
+    )
+    parser.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="worker heartbeat interval (default: lease duration / 4)",
+    )
+    parser.add_argument(
+        "--journal-fsync",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fsync the run journal every N cells (default 1: every cell "
+        "is durable; 0 disables fsync for throwaway runs)",
+    )
+    parser.add_argument(
+        "--retry-timeout-mult",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="scale a straggler retry's timeout budget by X**attempt "
+        "(default 1.0: retries keep the original budget)",
+    )
+    parser.add_argument(
         "--cache",
         metavar="DIR",
         default=None,
@@ -646,8 +716,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list:
         print(_experiment_table())
         return 0
-    if args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.join:
+        # Worker mode: no plan of our own -- the dispatcher serves specs.
+        from .dispatch import DispatchError, run_worker
+
+        if args.serve:
+            parser.error("--join (worker) and --serve (dispatcher) conflict")
+        try:
+            stats = run_worker(
+                args.join,
+                worker_id=args.worker_id,
+                heartbeat_s=args.heartbeat_s,
+            )
+        except DispatchError as exc:
+            print(f"worker failed: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"worker done: {stats['cells']} cells computed, "
+            f"{stats['stale']} stale, {stats['leased']} leased"
+        )
+        return 0
+    if args.serve:
+        if args.executor not in (None, "dispatch"):
+            parser.error("--serve requires --executor dispatch")
+        args.executor = "dispatch"
+    if args.jobs < 1 and not (args.serve and args.jobs == 0):
+        parser.error(
+            f"--jobs must be >= 1, got {args.jobs} "
+            "(--jobs 0 is only meaningful with --serve: serve-only, no "
+            "local workers)"
+        )
     try:
         cache = ResultCache(args.cache) if args.cache else None
     except OSError as exc:
@@ -696,14 +794,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             **options,
         )
         print(f"\n=== {run_plan.describe()} ===")
+        dispatch_opts: Optional[Dict[str, object]] = None
+        if args.serve:
+            host, port = args.serve
+            dispatch_opts = {
+                "host": host,
+                "port": port,
+                "lease_s": args.lease_s,
+                "heartbeat_s": args.heartbeat_s,
+                "spawn_workers": args.jobs,
+                "on_start": lambda url: print(
+                    f"dispatcher serving at {url} "
+                    f"(workers join with: python -m repro.eval --join {url})"
+                ),
+            }
+        elif args.executor == "dispatch":
+            dispatch_opts = {
+                "lease_s": args.lease_s,
+                "heartbeat_s": args.heartbeat_s,
+            }
         try:
             report = execute(
                 run_plan,
                 executor=args.executor,
-                jobs=args.jobs,
+                jobs=max(1, args.jobs),
                 cache=cache,
                 journal=args.journal,
                 resume=args.resume,
+                retry_timeout_multiplier=args.retry_timeout_mult,
+                journal_fsync_every=args.journal_fsync,
+                dispatch=dispatch_opts,
             )
         except UnknownNameError as exc:
             parser.error(str(exc))

@@ -3,12 +3,26 @@
 A *journal* is the durable record of one evaluation run: a directory holding
 ``journal.jsonl`` whose first line is the run's metadata (code version, plan
 fingerprint, experiment/shard identity) and every following line is one
-finished cell, written the moment the harness receives it.  Because lines are
-appended and flushed per cell, a run killed at any point leaves a journal
-whose intact prefix is exactly the set of finished cells -- the
-``shard-coordinator`` executor resumes from it by serving journaled cells
-without re-running them (a truncated final line from a mid-write crash is
-ignored, not fatal).
+finished cell, written the moment the harness receives it.  Because lines
+are appended, flushed **and fsynced** per cell (``fsync_every`` widens the
+sync stride for workloads where per-cell durability costs too much), a run
+killed at any point -- including a host power loss -- leaves a journal whose
+intact prefix is exactly the set of finished cells.  The
+``shard-coordinator`` and ``dispatch`` executors resume from it by serving
+journaled cells without re-running them.
+
+Corruption handling is deliberately asymmetric:
+
+* A **torn final line** (unterminated: the crash happened mid-``write``) is
+  expected, tolerated, and repaired -- :meth:`RunJournal.open` truncates the
+  tail back to the last intact record, so the torn fragment can never
+  resurface as mid-file garbage after the resumed run appends past it.
+* **Anything else** -- an unparseable line in the middle of the file, a
+  ``cell`` record whose payload does not deserialize, a garbage line that
+  *is* newline-terminated -- raises :class:`JournalCorruptError`.  Those
+  are not crash artifacts; silently skipping them (as earlier revisions
+  did) would drop finished results and re-run cells that already burned
+  hours.
 
 Cells are identified by :func:`cell_key`, a content hash over every field of
 the :class:`~repro.eval.parallel.CellSpec` (including the verification
@@ -32,9 +46,19 @@ from typing import IO, Dict, Optional, Tuple
 from ..approaches import ENGINE_KWARGS
 from .metrics import CompilationResult
 
-__all__ = ["cell_key", "RunJournal"]
+__all__ = ["cell_key", "RunJournal", "JournalCorruptError", "check_resumable"]
 
 JOURNAL_FILENAME = "journal.jsonl"
+
+
+class JournalCorruptError(ValueError):
+    """A journal holds damage that is *not* a torn final line.
+
+    Mid-file corruption means results that were journaled as durable are
+    gone or mangled -- resuming over it would silently re-run (or worse,
+    half-lose) finished work.  The journal refuses to open instead; the
+    operator decides whether to restore the file or restart the run.
+    """
 
 
 def cell_key(spec) -> str:
@@ -73,12 +97,30 @@ def cell_key(spec) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
+def check_resumable(
+    journal_meta: Dict[str, object], meta: Dict[str, object]
+) -> None:
+    """Refuse to resume a journal written by another code version or plan."""
+
+    for field_name, what in (("code", "code version"), ("plan", "plan")):
+        want = meta.get(field_name)
+        have = journal_meta.get(field_name)
+        if want is not None and have != want:
+            raise ValueError(
+                f"cannot resume: journal was written by a different "
+                f"{what} ({have!r} != {want!r}); re-run from scratch "
+                "instead of mixing results"
+            )
+
+
 class RunJournal:
     """One run's append-only JSONL journal rooted at a directory.
 
     Use :meth:`create` to start a fresh journal (refuses to clobber an
     existing one) and :meth:`open` to load one for resumption.  ``append``
-    flushes per line, so the journal is current the moment a cell lands.
+    flushes per line and fsyncs every ``fsync_every`` cells (default 1:
+    every cell is durable against power loss the moment it lands;
+    ``fsync_every=0`` disables fsync entirely for throwaway runs).
     """
 
     def __init__(
@@ -87,11 +129,17 @@ class RunJournal:
         meta: Dict[str, object],
         entries: Dict[str, CompilationResult],
         handle: Optional[IO[str]],
+        *,
+        fsync_every: int = 1,
     ) -> None:
         self.root = root
         self.meta = meta
         self._entries = entries
         self._handle = handle
+        self._fsync_every = max(0, int(fsync_every))
+        self._appends_since_sync = 0
+        #: bytes of torn tail truncated away by :meth:`open` (0 = clean)
+        self.repaired_bytes = 0
 
     @property
     def path(self) -> Path:
@@ -99,7 +147,13 @@ class RunJournal:
 
     # ------------------------------------------------------------------
     @classmethod
-    def create(cls, root: os.PathLike, meta: Dict[str, object]) -> "RunJournal":
+    def create(
+        cls,
+        root: os.PathLike,
+        meta: Dict[str, object],
+        *,
+        fsync_every: int = 1,
+    ) -> "RunJournal":
         """Start a fresh journal at ``root`` (raises if one already exists)."""
 
         root = Path(root)
@@ -113,50 +167,119 @@ class RunJournal:
         handle = path.open("w", encoding="utf-8")
         handle.write(json.dumps({"type": "meta", **meta}, sort_keys=True) + "\n")
         handle.flush()
-        return cls(root, dict(meta), {}, handle)
+        journal = cls(root, dict(meta), {}, handle, fsync_every=fsync_every)
+        if journal._fsync_every:
+            os.fsync(handle.fileno())
+            journal._sync_directory()
+        return journal
+
+    def _sync_directory(self) -> None:
+        """fsync the journal's directory so the file's *existence* is durable."""
+
+        try:
+            dir_fd = os.open(self.root, os.O_RDONLY)
+        except OSError:
+            return  # directory fds unsupported here; file fsync still held
+        try:
+            os.fsync(dir_fd)
+        except OSError:
+            pass  # some filesystems refuse directory fsync; best effort
+        finally:
+            os.close(dir_fd)
 
     @classmethod
-    def open(cls, root: os.PathLike) -> "RunJournal":
+    def open(cls, root: os.PathLike, *, fsync_every: int = 1) -> "RunJournal":
         """Load an existing journal for resumption (appends go to the end).
 
-        Unparseable lines -- the torn final line of a run killed mid-write --
-        are skipped; everything before them is served.
+        Only a *torn final line* -- unterminated, from a run killed
+        mid-write -- is tolerated: it is truncated away (so it cannot turn
+        into mid-file garbage once the resumed run appends) and everything
+        before it is served.  Any other unparseable or malformed line raises
+        :class:`JournalCorruptError`: silently skipping it would drop
+        results the journal promised were durable.
         """
 
         root = Path(root)
         path = root / JOURNAL_FILENAME
         if not path.is_file():
             raise FileNotFoundError(f"no journal at {path}")
+        raw = path.read_bytes()
+        if not raw:
+            raise JournalCorruptError(
+                f"journal {path} is empty -- nothing durable to resume "
+                "from; start a fresh run directory"
+            )
+        # Journal lines are pure ASCII (json.dumps default); replacement
+        # characters from hypothetical binary garbage simply fail the parse
+        # below and take the corruption path.
+        text = raw.decode("utf-8", errors="replace")
+        terminated = text.endswith("\n")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()  # the split artifact after a terminated final line
+
+        # A record is durable only once its newline landed: an unterminated
+        # final line is *always* a torn write -- even when the JSON happens
+        # to be complete (the crash hit between the payload and the "\n").
+        # Accepting it and then appending would weld the next record onto
+        # it, manufacturing mid-file corruption.
+        torn = False
+        if not terminated and lines:
+            lines.pop()
+            torn = True
+
         meta: Dict[str, object] = {}
         entries: Dict[str, CompilationResult] = {}
-        raw = path.read_text(encoding="utf-8")
-        for i, line in enumerate(raw.splitlines()):
+        for i, line in enumerate(lines):
+
+            def _corrupt(reason: str) -> JournalCorruptError:
+                return JournalCorruptError(
+                    f"journal {path} line {i + 1} is corrupt ({reason}); "
+                    "only a torn, unterminated final line is a normal crash "
+                    "artifact -- restore the file or start a fresh run "
+                    "directory"
+                )
+
             try:
                 record = json.loads(line)
             except ValueError:
-                continue  # torn write from a crash: ignore the tail
+                raise _corrupt("unparseable JSON") from None
+            if not isinstance(record, dict):
+                raise _corrupt("record is not an object")
             if i == 0 and record.get("type") == "meta":
                 meta = {k: v for k, v in record.items() if k != "type"}
                 continue
             if record.get("type") != "cell":
-                continue
+                continue  # unknown-but-intact record types: forward compat
             try:
                 result = CompilationResult.from_dict(record["result"])
+                key = record["key"]
             except (KeyError, TypeError, ValueError):
-                continue
-            entries[record["key"]] = result
+                raise _corrupt("cell record missing/invalid key or result") from None
+            entries[str(key)] = result
+
+        repaired = 0
+        if torn:
+            keep = raw.rfind(b"\n") + 1  # end of the last intact record
+            if keep == 0:
+                raise JournalCorruptError(
+                    f"journal {path} holds only a torn metadata line -- "
+                    "nothing durable to resume from; start a fresh run "
+                    "directory"
+                )
+            repaired = len(raw) - keep
+            os.truncate(path, keep)
+
         handle = path.open("a", encoding="utf-8")
-        if raw and not raw.endswith("\n"):
-            # Terminate the torn final line of a crashed run, so the first
-            # post-resume append starts a fresh line instead of gluing itself
-            # onto the unparseable tail (and being lost with it on reload).
-            handle.write("\n")
-            handle.flush()
-        return cls(root, meta, entries, handle)
+        journal = cls(root, meta, entries, handle, fsync_every=fsync_every)
+        journal.repaired_bytes = repaired
+        if repaired and journal._fsync_every:
+            os.fsync(handle.fileno())  # make the repair itself durable
+        return journal
 
     # ------------------------------------------------------------------
     def append(self, key: str, result: CompilationResult) -> None:
-        """Journal one finished cell (flushed immediately)."""
+        """Journal one finished cell (flushed, and fsynced per the stride)."""
 
         if self._handle is None:
             raise ValueError("journal is closed")
@@ -164,6 +287,11 @@ class RunJournal:
         self._handle.write(json.dumps(record, sort_keys=True) + "\n")
         self._handle.flush()
         self._entries[key] = result
+        if self._fsync_every:
+            self._appends_since_sync += 1
+            if self._appends_since_sync >= self._fsync_every:
+                os.fsync(self._handle.fileno())
+                self._appends_since_sync = 0
 
     def results(self) -> Dict[str, CompilationResult]:
         """Journaled results by cell key (last entry wins per key)."""
@@ -175,6 +303,10 @@ class RunJournal:
 
     def close(self) -> None:
         if self._handle is not None:
+            self._handle.flush()
+            if self._fsync_every and self._appends_since_sync:
+                os.fsync(self._handle.fileno())  # sync the partial stride
+                self._appends_since_sync = 0
             self._handle.close()
             self._handle = None
 

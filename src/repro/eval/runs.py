@@ -341,8 +341,13 @@ class RunReport:
 
     ``results`` is in plan (cell) order.  ``status_counts`` aggregates the
     per-cell statuses; ``resumed`` / ``retried`` / ``recovered`` are the
-    shard-coordinator's accounting (cells served from the journal, straggler
-    cells re-dispatched, and retries whose second attempt succeeded).
+    journaling executors' accounting (cells served from the journal,
+    straggler cells re-dispatched, and retries whose second attempt
+    succeeded).  ``reassigned`` / ``dead_workers`` are dispatcher-only:
+    leases that expired and went back to the queue, and distinct workers
+    whose leases expired (crashed or hung).  ``retry_timeout_multiplier``
+    records how straggler-retry timeout budgets were scaled, so a report is
+    a complete record of the retry policy that produced it.
     """
 
     experiment: str
@@ -358,6 +363,9 @@ class RunReport:
     resumed: int = 0
     retried: int = 0
     recovered: int = 0
+    reassigned: int = 0
+    dead_workers: int = 0
+    retry_timeout_multiplier: float = 1.0
     journal: Optional[str] = None
     cache_stats: Optional[Dict[str, int]] = None
 
@@ -382,6 +390,9 @@ class RunReport:
             "resumed": self.resumed,
             "retried": self.retried,
             "recovered": self.recovered,
+            "reassigned": self.reassigned,
+            "dead_workers": self.dead_workers,
+            "retry_timeout_multiplier": self.retry_timeout_multiplier,
             "journal": self.journal,
             "cache_stats": self.cache_stats,
         }
@@ -399,6 +410,11 @@ class RunReport:
                 f", resumed={self.resumed}, retried={self.retried}, "
                 f"recovered={self.recovered}"
             )
+        if self.reassigned or self.dead_workers:
+            extras += (
+                f", reassigned={self.reassigned}, "
+                f"dead_workers={self.dead_workers}"
+            )
         return (
             f"run: {self.experiment} [{self.executor}] "
             f"{len(self.results)} cells in {self.wall_s:.2f}s ({counts}{extras})"
@@ -414,7 +430,10 @@ def execute(
     journal: Optional[str] = None,
     resume: Optional[str] = None,
     retry_timeouts: int = 1,
+    retry_timeout_multiplier: float = 1.0,
+    journal_fsync_every: int = 1,
     group_topologies: bool = True,
+    dispatch: Optional[Dict[str, object]] = None,
 ) -> RunReport:
     """Run a plan through a registered executor and report the outcome.
 
@@ -423,7 +442,16 @@ def execute(
     ``journal`` starts a fresh JSONL run journal at that directory;
     ``resume`` continues from an existing one (cells already journaled are
     served, not re-run, after checking the journal was written by this code
-    version and this exact plan).  Both require the coordinator.
+    version and this exact plan).  Both require a journaling executor
+    (``shard-coordinator`` or ``dispatch``).
+
+    ``retry_timeout_multiplier`` scales a straggler retry's ``timeout_s``
+    by ``multiplier**attempt`` (default 1.0: retry with the same budget), so
+    a marginally-too-slow cell can recover instead of timing out twice
+    identically.  ``journal_fsync_every`` widens the journal's fsync stride
+    (default 1: every cell durable; 0 disables fsync).  ``dispatch`` passes
+    executor options to the ``dispatch`` executor (``lease_s``,
+    ``heartbeat_s``, ``spawn_workers``, ``host``/``port``, ``on_start``).
     """
 
     if journal and resume:
@@ -453,6 +481,9 @@ def execute(
         resume_dir=resume,
         meta=meta,
         retry_timeouts=retry_timeouts,
+        retry_timeout_multiplier=retry_timeout_multiplier,
+        journal_fsync_every=journal_fsync_every,
+        dispatch_opts=dict(dispatch or {}),
     )
     start = time.perf_counter()
     outcome = impl.run(run_plan.cells, ctx)
@@ -472,6 +503,9 @@ def execute(
         resumed=outcome.resumed,
         retried=outcome.retried,
         recovered=outcome.recovered,
+        reassigned=outcome.reassigned,
+        dead_workers=outcome.dead_workers,
+        retry_timeout_multiplier=retry_timeout_multiplier,
         journal=outcome.journal_path,
         cache_stats=cache.stats() if cache is not None else None,
     )

@@ -1,0 +1,222 @@
+"""Durability tests for the run journal: fsync, corruption, torn tails.
+
+The journal's contract is "the intact prefix is exactly the finished
+cells".  These tests hold it to that under the failures that actually
+happen: power loss between flush and disk (fsync), bit rot / truncated
+restores mid-file (JournalCorruptError), and writes torn at an arbitrary
+byte offset by a crash (the every-offset sweep).
+"""
+
+import json
+
+import pytest
+
+from repro.eval import CellSpec, JournalCorruptError, RunJournal, cell_key, chaos
+from repro.eval.executors import run_specs
+
+META = {"experiment": "t", "plan": "p" * 24, "code": "c" * 12}
+
+
+def _filled_journal(root, n=3, **kwargs):
+    """A closed journal holding ``n`` real finished cells."""
+
+    specs = [CellSpec.make("sabre", "grid", 2, seed=s) for s in range(n)]
+    results = run_specs(specs)
+    journal = RunJournal.create(root, META, **kwargs)
+    for spec, result in zip(specs, results):
+        journal.append(cell_key(spec), result)
+    journal.close()
+    return [cell_key(s) for s in specs]
+
+
+class TestFsync:
+    @pytest.fixture
+    def fsync_calls(self, monkeypatch):
+        from repro.eval import journal as journal_module
+
+        calls = []
+        real_fsync = journal_module.os.fsync
+
+        def counting_fsync(fd):
+            calls.append(fd)
+            return real_fsync(fd)
+
+        monkeypatch.setattr(journal_module.os, "fsync", counting_fsync)
+        return calls
+
+    def _append_n(self, journal, n):
+        specs = [CellSpec.make("sabre", "grid", 2, seed=s) for s in range(n)]
+        for spec, result in zip(specs, run_specs(specs)):
+            journal.append(cell_key(spec), result)
+
+    def test_default_syncs_every_append(self, tmp_path, fsync_calls):
+        journal = RunJournal.create(tmp_path, META)
+        created = len(fsync_calls)
+        assert created >= 1  # the meta line (plus the directory) is durable
+        self._append_n(journal, 3)
+        assert len(fsync_calls) == created + 3
+        journal.close()
+        assert len(fsync_calls) == created + 3  # nothing pending at close
+
+    def test_wider_stride_batches_syncs(self, tmp_path, fsync_calls):
+        journal = RunJournal.create(tmp_path, META, fsync_every=2)
+        created = len(fsync_calls)
+        self._append_n(journal, 3)
+        assert len(fsync_calls) == created + 1  # after the 2nd append only
+        journal.close()
+        assert len(fsync_calls) == created + 2  # close flushes the partial stride
+
+    def test_zero_disables_fsync(self, tmp_path, fsync_calls):
+        journal = RunJournal.create(tmp_path, META, fsync_every=0)
+        self._append_n(journal, 3)
+        journal.close()
+        assert fsync_calls == []
+
+    def test_open_honours_stride(self, tmp_path, fsync_calls):
+        _filled_journal(tmp_path, n=1, fsync_every=0)
+        journal = RunJournal.open(tmp_path, fsync_every=1)
+        before = len(fsync_calls)
+        self._append_n(journal, 2)
+        assert len(fsync_calls) == before + 2
+        journal.close()
+
+
+class TestMidFileCorruption:
+    def _lines(self, root):
+        return (root / "journal.jsonl").read_text().splitlines(True)
+
+    def test_unparseable_line_mid_file_raises(self, tmp_path):
+        _filled_journal(tmp_path)
+        lines = self._lines(tmp_path)
+        lines[2] = "@@@ not json @@@\n"
+        (tmp_path / "journal.jsonl").write_text("".join(lines))
+        with pytest.raises(JournalCorruptError, match="line 3"):
+            RunJournal.open(tmp_path)
+
+    def test_terminated_garbage_final_line_raises(self, tmp_path):
+        # Newline-terminated garbage is NOT a torn write: the "\n" landed,
+        # so the line was written whole -- this is damage, not a crash.
+        _filled_journal(tmp_path)
+        path = tmp_path / "journal.jsonl"
+        path.write_text(path.read_text() + "@@@ damage @@@\n")
+        with pytest.raises(JournalCorruptError, match="unparseable JSON"):
+            RunJournal.open(tmp_path)
+
+    def test_non_object_record_raises(self, tmp_path):
+        _filled_journal(tmp_path)
+        lines = self._lines(tmp_path)
+        lines.insert(2, "[1, 2, 3]\n")
+        (tmp_path / "journal.jsonl").write_text("".join(lines))
+        with pytest.raises(JournalCorruptError, match="not an object"):
+            RunJournal.open(tmp_path)
+
+    def test_cell_record_with_mangled_result_raises(self, tmp_path):
+        _filled_journal(tmp_path)
+        lines = self._lines(tmp_path)
+        record = json.loads(lines[1])
+        del record["result"]
+        lines[1] = json.dumps(record) + "\n"
+        (tmp_path / "journal.jsonl").write_text("".join(lines))
+        with pytest.raises(JournalCorruptError, match="cell record"):
+            RunJournal.open(tmp_path)
+
+    def test_unknown_record_types_still_tolerated(self, tmp_path):
+        # Intact lines of a type this version doesn't know are forward
+        # compatibility, not corruption.
+        keys = _filled_journal(tmp_path)
+        lines = self._lines(tmp_path)
+        lines.insert(2, json.dumps({"type": "annotation", "note": "hi"}) + "\n")
+        (tmp_path / "journal.jsonl").write_text("".join(lines))
+        journal = RunJournal.open(tmp_path)
+        assert set(journal.results()) == set(keys)
+        journal.close()
+
+    def test_empty_file_raises(self, tmp_path):
+        (tmp_path / "journal.jsonl").write_bytes(b"")
+        with pytest.raises(JournalCorruptError):
+            RunJournal.open(tmp_path)
+
+
+class TestTornTail:
+    def test_torn_meta_only_journal_is_unresumable(self, tmp_path):
+        (tmp_path / "journal.jsonl").write_text('{"type": "meta", "co')
+        with pytest.raises(JournalCorruptError, match="torn metadata"):
+            RunJournal.open(tmp_path)
+
+    def test_unterminated_but_complete_json_is_still_torn(self, tmp_path):
+        # The crash can land between the payload and its "\n".  The record
+        # must be treated as torn anyway: accepting it and then appending
+        # would weld the next record onto it (mid-file corruption we made
+        # ourselves).
+        keys = _filled_journal(tmp_path)
+        path = tmp_path / "journal.jsonl"
+        raw = path.read_bytes()
+        chaos.tear_tail(path, len(raw) - 1)  # exactly the final newline
+        journal = RunJournal.open(tmp_path)
+        assert journal.repaired_bytes > 0
+        assert set(journal.results()) == set(keys[:-1])
+        journal.close()
+        assert path.read_bytes() == raw[: raw.rfind(b"\n", 0, len(raw) - 1) + 1]
+
+    def test_every_byte_offset_of_the_last_record(self, tmp_path):
+        """Property: no tear inside the last record loses an intact prefix cell.
+
+        Sweeps every truncation point from 'last record entirely gone' to
+        'only its newline missing', asserting open() serves exactly the
+        intact prefix, repairs the file, and leaves it cleanly appendable.
+        """
+
+        keys = _filled_journal(tmp_path / "master")
+        master = (tmp_path / "master" / "journal.jsonl").read_bytes()
+        last_start = master.rfind(b"\n", 0, len(master) - 1) + 1
+        prefix_keys = set(keys[:-1])
+
+        for cut in range(last_start, len(master)):
+            root = tmp_path / f"cut{cut}"
+            root.mkdir()
+            path = root / "journal.jsonl"
+            path.write_bytes(master)
+            chaos.tear_tail(path, cut)
+
+            journal = RunJournal.open(root)
+            if cut == last_start:
+                # The whole record vanished with its line: a clean journal
+                # that simply never saw the last cell.
+                assert journal.repaired_bytes == 0
+            else:
+                assert journal.repaired_bytes == cut - last_start
+            assert set(journal.results()) == prefix_keys, f"cut at byte {cut}"
+            # The repaired file must be cleanly appendable: journal the torn
+            # cell again and re-open without complaint.
+            spec = CellSpec.make("sabre", "grid", 2, seed=2)
+            journal.append(keys[-1], run_specs([spec])[0])
+            journal.close()
+            reopened = RunJournal.open(root)
+            assert set(reopened.results()) == set(keys), f"cut at byte {cut}"
+            assert reopened.repaired_bytes == 0
+            reopened.close()
+
+    def test_resume_after_tear_recovers_full_run(self, tmp_path):
+        # End-to-end: execute --journal, tear the tail, --resume; the
+        # resumed run recomputes only the torn cell and the final results
+        # match an uninterrupted run.
+        from repro.eval import adhoc_plan, execute
+
+        p = adhoc_plan(
+            "mini", [CellSpec.make("sabre", "grid", 2, seed=s) for s in range(3)]
+        )
+        clean = execute(p, journal=str(tmp_path / "clean"))
+        path = tmp_path / "clean" / "journal.jsonl"
+        raw = path.read_bytes()
+        chaos.tear_tail(path, len(raw) - 7)  # rip into the last record
+        resumed = execute(p, resume=str(tmp_path / "clean"))
+        assert resumed.resumed == len(p.cells) - 1
+
+        def stable(result):
+            data = result.to_dict()
+            data.pop("compile_time_s", None)  # wall time is volatile
+            return data
+
+        assert [stable(r) for r in resumed.results] == [
+            stable(r) for r in clean.results
+        ]

@@ -344,6 +344,54 @@ class TestJournalResume:
         assert report.retried == 3 and report.recovered == 0
         assert report.results[0].extra["retries"] == 3
 
+    def test_retry_timeout_multiplier_recovers_marginal_cell(self, monkeypatch):
+        # A cell that is marginally too slow for its budget times out on the
+        # first attempt; with a multiplier the retry gets a wider budget and
+        # recovers instead of timing out identically twice.
+        from repro.eval import executors as ex
+
+        budgets = []
+
+        def budget_sensitive(approach, kind, size, timeout_s=None, **kwargs):
+            budgets.append(timeout_s)
+            status = "timeout" if timeout_s is not None and timeout_s < 1 else "ok"
+            return CompilationResult(
+                approach, f"{kind} {size}", size * size, status=status,
+                depth=7, swap_count=1,
+            )
+
+        monkeypatch.setattr(ex, "run_cell", budget_sensitive)
+        p = adhoc_plan(
+            "marginal", [CellSpec.make("sabre", "grid", 2, timeout_s=0.5)]
+        )
+        report = execute(
+            p, executor="shard-coordinator", retry_timeout_multiplier=4.0
+        )
+        assert budgets == [0.5, 2.0]
+        assert report.retried == 1 and report.recovered == 1
+        assert report.results[0].status == "ok"
+        assert report.retry_timeout_multiplier == 4.0
+        assert report.to_dict()["retry_timeout_multiplier"] == 4.0
+
+    def test_default_multiplier_retries_with_same_budget(self, monkeypatch):
+        from repro.eval import executors as ex
+
+        budgets = []
+
+        def always_timeout(approach, kind, size, timeout_s=None, **kwargs):
+            budgets.append(timeout_s)
+            return CompilationResult(
+                approach, f"{kind} {size}", size * size, status="timeout"
+            )
+
+        monkeypatch.setattr(ex, "run_cell", always_timeout)
+        p = adhoc_plan(
+            "marginal", [CellSpec.make("sabre", "grid", 2, timeout_s=0.5)]
+        )
+        report = execute(p, executor="shard-coordinator")
+        assert budgets == [0.5, 0.5]
+        assert report.retry_timeout_multiplier == 1.0
+
 
 # ---------------------------------------------------------------------------
 # Verification policy
