@@ -110,6 +110,118 @@ if [ "${1:-}" = "--chaos-only" ]; then
 fi
 
 # ---------------------------------------------------------------------------
+# Store smoke: the SQLite experiment store end to end.  Two shards journal
+# fig27 to JSONL while recording runs + caching cells into one shared .db;
+# the store's run records must be bit-equal to the journals, the shared
+# store-backed cache must serve the full sweep warm, a seeded divergent
+# merge must be refused by the UNIQUE constraint, and the perf gate must
+# read its baseline from imported legacy bench history (--db).
+# ---------------------------------------------------------------------------
+store_smoke() {
+    echo "=== store smoke: sharded fig27 through the SQLite experiment store ==="
+    local store_dir
+    store_dir=$(mktemp -d)
+    local db="$store_dir/results.db"
+    # Two "machines" run complementary slices: JSONL journals stay the
+    # resume source of truth, the store records the same appends, and both
+    # shards cache into the same store-backed cache.
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.eval -e fig27 \
+        --shard 0/2 --journal "$store_dir/j0" --store "$db" --cache "$db" | tail -2
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.eval -e fig27 \
+        --shard 1/2 --journal "$store_dir/j1" --store "$db" --cache "$db" | tail -2
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - "$store_dir" <<'PY'
+import json, sys
+from pathlib import Path
+from repro.store import ExperimentStore
+
+base = Path(sys.argv[1])
+
+def cells(path):
+    out = {}
+    for line in (path / "journal.jsonl").read_text().splitlines():
+        rec = json.loads(line)
+        if rec.get("type") == "cell":
+            out[rec["key"]] = rec["result"]
+    return out
+
+jsonl = {}
+for shard in ("j0", "j1"):
+    jsonl.update(cells(base / shard))
+with ExperimentStore(base / "results.db") as store:
+    runs = store.list_runs()
+    assert len(runs) == 2, f"expected 2 recorded runs, got {len(runs)}"
+    recorded = {}
+    for run in runs:
+        recorded.update(store.run_results(run["id"]))
+assert recorded == jsonl, "store run records != JSONL journals"
+print(f"store smoke ok: {len(jsonl)} journaled cells bit-equal in the store")
+PY
+    # The shared store-backed cache serves the whole sweep warm.
+    local warm_out
+    warm_out=$(PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} \
+        python -m repro.eval -e fig27 --cache "$db")
+    echo "$warm_out" | tail -2
+    echo "$warm_out" | grep -Eq "cache: [0-9]+ hits, 0 misses" || {
+        echo "ci.sh: FAIL — store-backed cache did not serve the sweep warm" >&2
+        exit 1
+    }
+    # Merge discipline: a seeded divergent cell is refused by the UNIQUE
+    # constraint (CacheMergeConflict), never silently overwritten.
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python - "$db" "$store_dir" <<'PY'
+import json, sys
+from pathlib import Path
+from repro.eval import CacheMergeConflict, ResultCache
+from repro.store import ExperimentStore
+
+db, base = sys.argv[1], Path(sys.argv[2])
+with ExperimentStore(db) as store:
+    key = store.query_cells(status="ok", limit=1)[0]["cell_key"]
+    result = store.get_cell(key)
+result["depth"] = (result.get("depth") or 0) + 1  # divergent metric
+divergent = base / "divergent"
+divergent.mkdir()
+(divergent / f"{key}.json").write_text(json.dumps(result), encoding="utf-8")
+cache = ResultCache(db)
+try:
+    cache.merge(divergent)
+except CacheMergeConflict as exc:
+    print(f"store smoke ok: divergent merge refused ({str(exc).split(';')[0]})")
+else:
+    raise SystemExit("ci.sh: FAIL — divergent merge was silently accepted")
+finally:
+    cache.close()
+PY
+    # Legacy bench history in, then the perf gate reads its baseline from
+    # the store (--db) instead of the committed JSON.
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.store \
+        import-legacy "$db" --bench BENCH_*.json
+    local bench_json="$store_dir/bench.json"
+    python scripts/bench.py --smoke --out "$bench_json"
+    local gate_out
+    gate_out=$(python scripts/perf_gate.py "$bench_json" --db "$db")
+    echo "$gate_out"
+    echo "$gate_out" | grep -q "of store results.db" || {
+        echo "ci.sh: FAIL — perf gate did not use the store baseline" >&2
+        exit 1
+    }
+    # Record this run as history too, then the query/history CLI smoke.
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.store \
+        import-legacy "$db" --bench "$bench_json"
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.store \
+        query "$db" --approach sabre --status ok --limit 3
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.store \
+        history "$db" --suite smoke --approach sabre --kind grid --limit 5
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.store info "$db"
+    rm -rf "$store_dir"
+}
+
+if [ "${1:-}" = "--store-only" ]; then
+    store_smoke
+    echo "ci.sh: store-only run complete"
+    exit 0
+fi
+
+# ---------------------------------------------------------------------------
 # SABRE kernel leg.  CI runs this script twice per Python version:
 #   - compiled leg:  REPRO_SABRE_KERNEL=c      (extension built, required)
 #   - fallback leg:  REPRO_SABRE_KERNEL=python (extension never consulted)
@@ -207,6 +319,9 @@ echo "$warm_out" | grep -Eq "cache: [0-9]+ hits, 0 misses" || {
 
 echo
 chaos_smoke
+
+echo
+store_smoke
 
 echo
 echo "=== perf smoke: fixed compile-time micro-suite ==="

@@ -20,7 +20,14 @@ Exit status: 0 = within budget, 1 = regression (offenders listed),
 Usage::
 
     python scripts/perf_gate.py CURRENT.json [--baseline BENCH_baseline_smoke.json]
-                                [--factor 1.5] [--slack-s 0.05]
+                                [--db STORE.db] [--factor 1.5] [--slack-s 0.05]
+
+With ``--db`` the baseline comes from a SQLite experiment store instead of
+the committed JSON: the latest recorded bench payload for the current run's
+suite (optionally pinned to one commit via ``--db-commit``), reconstructed
+cell-for-cell from ``bench_cells`` rows.  The committed-JSON baseline stays
+as the fallback when the store is absent or holds no matching recording, so
+CI cannot go silently ungated during the migration.
 
 Environment overrides (for slow/shared runners): ``REPRO_PERF_GATE_FACTOR``,
 ``REPRO_PERF_GATE_SLACK_S``, ``REPRO_PERF_BASELINE``; ``REPRO_PERF_GATE=off``
@@ -67,6 +74,23 @@ def _cells(payload: dict) -> dict:
     return out
 
 
+def _store_baseline(db_path: str, suite: str, commit: str | None) -> dict | None:
+    """Latest recorded bench payload for ``suite`` from a store, or ``None``.
+
+    Returns ``None`` (caller falls back to the committed JSON) when the
+    store file is missing or holds no recording for the suite; the notice
+    is printed by the caller so the fallback is always visible in CI logs.
+    """
+
+    if not os.path.isfile(db_path):
+        return None
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.store import ExperimentStore
+
+    with ExperimentStore(db_path) as store:
+        return store.latest_baseline(suite, commit=commit)
+
+
 def _fmt(key: tuple) -> str:
     group, workload, approach, kind, size, k = key
     tail = f" [#{k + 1}]" if k else ""
@@ -80,6 +104,21 @@ def main(argv=None) -> int:
         "--baseline",
         default=os.environ.get("REPRO_PERF_BASELINE", DEFAULT_BASELINE),
         help="committed baseline JSON (default: BENCH_baseline_smoke.json)",
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        metavar="STORE.db",
+        help="read the baseline from this SQLite experiment store (latest "
+        "bench recording for the current suite); falls back to --baseline "
+        "when the store is absent or empty",
+    )
+    parser.add_argument(
+        "--db-commit",
+        default=None,
+        metavar="SHA",
+        help="with --db: pin the baseline to the latest recording of this "
+        "commit instead of the latest overall",
     )
     parser.add_argument(
         "--factor",
@@ -100,13 +139,35 @@ def main(argv=None) -> int:
         return 0
 
     try:
-        with open(args.baseline, encoding="utf-8") as fh:
-            baseline = json.load(fh)
         with open(args.current, encoding="utf-8") as fh:
             current = json.load(fh)
     except (OSError, ValueError) as exc:
         print(f"perf gate: cannot load inputs: {exc}", file=sys.stderr)
         return 2
+
+    baseline = None
+    baseline_name = os.path.basename(args.baseline)
+    if args.db:
+        baseline = _store_baseline(args.db, current.get("suite"), args.db_commit)
+        if baseline is None:
+            print(
+                f"perf gate: store {args.db} has no "
+                f"{current.get('suite')!r} bench recording; falling back to "
+                f"{baseline_name}"
+            )
+        else:
+            baseline_name = (
+                f"store {os.path.basename(args.db)} "
+                f"(commit {baseline.get('commit') or '?'}, "
+                f"recorded {baseline.get('timestamp') or '?'})"
+            )
+    if baseline is None:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"perf gate: cannot load inputs: {exc}", file=sys.stderr)
+            return 2
 
     if baseline.get("suite") != current.get("suite"):
         print(
@@ -172,7 +233,7 @@ def main(argv=None) -> int:
 
     print(
         f"perf gate: ok — {checked} pinned cells within {args.factor}x "
-        f"(+{args.slack_s}s slack) of {os.path.basename(args.baseline)}"
+        f"(+{args.slack_s}s slack) of {baseline_name}"
     )
     return 0
 

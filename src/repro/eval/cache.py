@@ -14,6 +14,13 @@ two workers writing the same cell write identical bytes.  The same property
 makes caches from *different machines* unionable: :meth:`ResultCache.merge`
 (CLI: ``python -m repro.eval --cache DEST --cache-merge DIR...``) copies over
 entries whose keys are absent, which is how sharded sweeps are combined.
+
+A ``root`` ending in ``.db`` selects the SQLite backend instead: the same
+keys, the same get/put/merge semantics, but rows in a
+:class:`repro.store.ExperimentStore` (WAL mode, concurrent writers), where
+the conflict-checked merge is enforced by the ``UNIQUE (cell_key)``
+constraint and cross-run queries come for free.  Directory caches merge
+*into* a store-backed cache (and vice versa), which is the migration path.
 """
 
 from __future__ import annotations
@@ -66,7 +73,8 @@ class ResultCache:
     Parameters
     ----------
     root:
-        Directory for the cache (created on demand).
+        Directory for the cache (created on demand), or a ``*.db`` path to
+        back the cache by a :class:`repro.store.ExperimentStore` instead.
     version:
         Code-version component of every key.  Defaults to
         :func:`code_version`; tests may pin it to probe invalidation.
@@ -74,10 +82,32 @@ class ResultCache:
 
     def __init__(self, root: os.PathLike, *, version: Optional[str] = None) -> None:
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        self._store = None
+        if self.root.suffix == ".db":
+            # Lazy import: repro.store imports ENGINE_KWARGS-adjacent code
+            # and must not become an import-time dependency of the cache.
+            from ..store import ExperimentStore
+
+            self._store = ExperimentStore(self.root)
+            #: spec columns captured by :meth:`key`, consumed by :meth:`put`
+            #: (``put`` receives only the opaque key, but the store indexes
+            #: the denormalized spec, so ``key`` stashes it per key).
+            self._identity: Dict[str, Dict[str, object]] = {}
+        else:
+            self.root.mkdir(parents=True, exist_ok=True)
         self.version = version if version is not None else code_version()
         self.hits = 0
         self.misses = 0
+
+    @property
+    def store(self):
+        """The backing :class:`ExperimentStore`, or ``None`` (directory)."""
+
+        return self._store
+
+    def close(self) -> None:
+        if self._store is not None:
+            self._store.close()
 
     # ------------------------------------------------------------------
     def key(
@@ -92,6 +122,8 @@ class ResultCache:
         workload_params: Iterable[Tuple[str, object]] = (),
         verify: str = "full",
     ) -> str:
+        kwargs = tuple(kwargs)
+        workload_params = tuple(workload_params)
         payload = json.dumps(
             {
                 "approach": approach,
@@ -117,7 +149,22 @@ class ResultCache:
             },
             sort_keys=True,
         )
-        return hashlib.sha256(payload.encode()).hexdigest()[:24]
+        cell_key = hashlib.sha256(payload.encode()).hexdigest()[:24]
+        if self._store is not None:
+            from ..store import identity_columns
+
+            self._identity[cell_key] = identity_columns(
+                approach,
+                kind,
+                size,
+                kwargs=kwargs,
+                rename=rename,
+                timeout_s=timeout_s,
+                workload=workload,
+                workload_params=workload_params,
+                verify=verify,
+            )
+        return cell_key
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -126,6 +173,21 @@ class ResultCache:
     def get(self, key: str) -> Optional[CompilationResult]:
         """Cached result for ``key``, or ``None`` (corrupt files count as miss)."""
 
+        if self._store is not None:
+            data = self._store.get_cell(key)
+            try:
+                result = (
+                    None if data is None else CompilationResult.from_dict(data)
+                )
+            except (ValueError, TypeError):
+                result = None
+            if result is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            result.extra = dict(result.extra or {})
+            result.extra["cache"] = "hit"
+            return result
         path = self._path(key)
         try:
             with path.open("r", encoding="utf-8") as fh:
@@ -142,6 +204,14 @@ class ResultCache:
     def put(self, key: str, result: CompilationResult) -> None:
         """Store ``result`` under ``key`` (atomic write-then-rename)."""
 
+        if self._store is not None:
+            self._store.put_cell(
+                key,
+                result,
+                code=self.version,
+                identity=self._identity.get(key),
+            )
+            return
         data = result.to_dict()
         data["extra"].pop("cache", None)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
@@ -192,9 +262,18 @@ class ResultCache:
         directory was merged first.  This is the union step for sharded
         sweeps: machines run slices against private cache dirs, then one
         host merges them.
+
+        Sources and destinations mix freely across backends: a store-backed
+        cache merges directories or other ``.db`` stores (the conflict check
+        is the ``UNIQUE (cell_key)`` constraint there), and a directory
+        cache can drain a ``.db`` store back into files.
         """
 
         other = Path(other_root)
+        if self._store is not None:
+            return self._store.merge_from(other)
+        if other.suffix == ".db":
+            return self._merge_from_store(other)
         if not other.is_dir():
             raise FileNotFoundError(f"cache directory {other} does not exist")
         imported = skipped = invalid = 0
@@ -243,9 +322,59 @@ class ResultCache:
             imported += 1
         return {"imported": imported, "skipped": skipped, "invalid": invalid}
 
+    def _merge_from_store(self, other: Path) -> Dict[str, int]:
+        """Drain a ``.db`` store into this directory cache (same checks)."""
+
+        if not other.is_file():
+            raise FileNotFoundError(f"store {other} does not exist")
+        from ..store import ExperimentStore
+
+        imported = skipped = 0
+        with ExperimentStore(other) as store:
+            for cell in store.iter_cells():
+                key, incoming = cell["cell_key"], cell["result"]
+                dest = self._path(key)
+                if dest.exists():
+                    try:
+                        existing = json.loads(dest.read_text(encoding="utf-8"))
+                    except (OSError, ValueError):
+                        existing = None  # corrupt local entry: heal it
+                    if existing is not None:
+                        if self._comparable(existing) != self._comparable(incoming):
+                            differing = sorted(
+                                k
+                                for k in set(existing) | set(incoming)
+                                if k not in self._VOLATILE_FIELDS
+                                and existing.get(k) != incoming.get(k)
+                            )
+                            raise CacheMergeConflict(
+                                f"cache entry {key} from {other} disagrees "
+                                f"with the existing entry on field(s) "
+                                f"{', '.join(differing)}; same key + same "
+                                "code version must mean identical results "
+                                "-- one of the caches is corrupt"
+                            )
+                        skipped += 1
+                        continue
+                fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                        json.dump(incoming, fh, indent=1)
+                    os.replace(tmp, dest)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+                imported += 1
+        return {"imported": imported, "skipped": skipped, "invalid": 0}
+
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         return {"hits": self.hits, "misses": self.misses}
 
     def __len__(self) -> int:
+        if self._store is not None:
+            return self._store.counts()["cells"]
         return sum(1 for _ in self.root.glob("*.json"))

@@ -833,6 +833,22 @@ class DispatchExecutor(Executor):
                 ctx.journal_dir, ctx.meta, fsync_every=ctx.journal_fsync_every
             )
 
+        # Optional SQLite store sink: the dispatcher stays the single
+        # journal writer; teeing its appends records the same stream as
+        # run history without touching the server's write path.
+        recorder = None
+        sink = journal
+        if ctx.store_path:
+            from ..store import ExperimentStore, JournalTee, RunRecorder
+
+            recorder = RunRecorder(
+                ExperimentStore(ctx.store_path),
+                ctx.meta,
+                executor="dispatch",
+                jobs=ctx.jobs,
+            )
+            sink = JournalTee(journal, recorder)
+
         keys = [cell_key(spec) for spec in specs]
         skip: Dict[int, CompilationResult] = {}
         resumed_retry_attempts: Dict[int, int] = {}
@@ -866,8 +882,8 @@ class DispatchExecutor(Executor):
                 )
                 if hit is not None:
                     skip[i] = hit
-                    if journal is not None:
-                        journal.append(keys[i], hit)
+                    if sink is not None:
+                        sink.append(keys[i], hit)
 
         resumed_count = len(skip) - sum(
             1 for i in skip if keys[i] not in resumed
@@ -878,7 +894,7 @@ class DispatchExecutor(Executor):
             keys=keys,
             skip=skip,
             resumed_retry_attempts=resumed_retry_attempts,
-            journal=journal,
+            journal=sink,
             cache=ctx.cache,
             lease_s=lease_s,
             heartbeat_s=heartbeat_s,
@@ -913,6 +929,8 @@ class DispatchExecutor(Executor):
             server.stop()
             if journal is not None:
                 journal.close()
+            if recorder is not None:
+                recorder.finish()
 
         return ExecutionOutcome(
             server.results_in_order(),

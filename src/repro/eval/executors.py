@@ -256,6 +256,9 @@ class ExecutionContext:
     journal_dir: Optional[str] = None
     #: directory of an existing journal to resume from (shard-coordinator)
     resume_dir: Optional[str] = None
+    #: SQLite experiment store recording the run + every journaled cell
+    #: alongside the JSONL journal (shard-coordinator and dispatch)
+    store_path: Optional[str] = None
     #: metadata written to (and checked against) the journal's header line
     meta: Dict[str, object] = field(default_factory=dict)
     #: how many times a timeout cell is re-dispatched before being reported
@@ -334,11 +337,11 @@ def executor_names() -> Tuple[str, ...]:
 
 
 def _require_no_journal(ctx: ExecutionContext, name: str) -> None:
-    if ctx.journal_dir or ctx.resume_dir:
+    if ctx.journal_dir or ctx.resume_dir or ctx.store_path:
         raise ValueError(
             f"executor {name!r} does not journal runs; use the "
             "'shard-coordinator' or 'dispatch' executor for "
-            "--journal/--resume"
+            "--journal/--resume/--store"
         )
 
 
@@ -435,9 +438,25 @@ class ShardCoordinatorExecutor(Executor):
             i: resumed[k] for i, k in enumerate(keys) if k in resumed
         }
 
+        # The optional store sink rides alongside the JSONL journal: the
+        # same appends, through one tee, so the single-writer discipline is
+        # unchanged and the JSONL journal stays the resume source of truth.
+        recorder = None
+        sink = journal
+        if ctx.store_path:
+            from ..store import ExperimentStore, JournalTee, RunRecorder
+
+            recorder = RunRecorder(
+                ExperimentStore(ctx.store_path),
+                ctx.meta,
+                executor=self.name,
+                jobs=ctx.jobs,
+            )
+            sink = JournalTee(journal, recorder)
+
         on_result = None
-        if journal is not None:
-            on_result = lambda i, spec, res: journal.append(keys[i], res)  # noqa: E731
+        if sink is not None:
+            on_result = lambda i, spec, res: sink.append(keys[i], res)  # noqa: E731
 
         try:
             results = run_specs(
@@ -484,11 +503,13 @@ class ShardCoordinatorExecutor(Executor):
                     if result.status != "timeout":
                         recovered += 1
                     results[i] = result
-                    if journal is not None:
-                        journal.append(keys[i], result)
+                    if sink is not None:
+                        sink.append(keys[i], result)
         finally:
             if journal is not None:
                 journal.close()
+            if recorder is not None:
+                recorder.finish()
 
         return ExecutionOutcome(
             results,

@@ -642,6 +642,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "plan required)",
     )
     parser.add_argument(
+        "--store",
+        metavar="DB",
+        default=None,
+        help="record the run (meta + every journaled cell) into a SQLite "
+        "experiment store at DB, alongside or instead of --journal "
+        "(implies the shard-coordinator executor; query with "
+        "'python -m repro.store query DB')",
+    )
+    parser.add_argument(
         "--serve",
         type=_parse_serve,
         default=None,
@@ -699,7 +708,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--cache",
         metavar="DIR",
         default=None,
-        help="result cache directory; re-runs only compute cells not already "
+        help="result cache directory, or a *.db path for the SQLite "
+        "experiment store backend; re-runs only compute cells not already "
         "cached under the current code version",
     )
     parser.add_argument(
@@ -707,9 +717,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="DIR",
         nargs="+",
         default=None,
-        help="merge the given cache directories into --cache (union of "
-        "sharded sweeps; conflicting entries raise) and exit unless "
-        "experiments are also requested",
+        help="merge the given cache directories (or *.db stores) into "
+        "--cache (union of sharded sweeps; conflicting entries raise) and "
+        "exit unless experiments are also requested",
     )
     args = parser.parse_args(argv)
 
@@ -746,10 +756,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "(--jobs 0 is only meaningful with --serve: serve-only, no "
             "local workers)"
         )
+    import sqlite3
+
     try:
         cache = ResultCache(args.cache) if args.cache else None
-    except OSError as exc:
-        parser.error(f"--cache {args.cache!r} is not a usable directory: {exc}")
+    except (OSError, sqlite3.Error) as exc:
+        parser.error(f"--cache {args.cache!r} is not usable: {exc}")
     if args.cache_merge:
         if cache is None:
             parser.error("--cache-merge requires --cache DIR (the destination)")
@@ -779,8 +791,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "--workload only applies to the 'sweep' experiment; the figure "
             "experiments reproduce the paper's QFT results"
         )
-    if (args.journal or args.resume) and len(wanted) != 1:
-        parser.error("--journal/--resume apply to exactly one experiment")
+    if (args.journal or args.resume or args.store) and len(wanted) != 1:
+        parser.error("--journal/--resume/--store apply to exactly one experiment")
     if args.journal and args.resume:
         parser.error("pass either --journal (fresh run) or --resume, not both")
 
@@ -821,6 +833,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 cache=cache,
                 journal=args.journal,
                 resume=args.resume,
+                store=args.store,
                 retry_timeout_multiplier=args.retry_timeout_mult,
                 journal_fsync_every=args.journal_fsync,
                 dispatch=dispatch_opts,

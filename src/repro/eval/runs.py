@@ -367,6 +367,8 @@ class RunReport:
     dead_workers: int = 0
     retry_timeout_multiplier: float = 1.0
     journal: Optional[str] = None
+    #: path of the SQLite experiment store the run was recorded into
+    store: Optional[str] = None
     cache_stats: Optional[Dict[str, int]] = None
 
     @property
@@ -394,6 +396,7 @@ class RunReport:
             "dead_workers": self.dead_workers,
             "retry_timeout_multiplier": self.retry_timeout_multiplier,
             "journal": self.journal,
+            "store": self.store,
             "cache_stats": self.cache_stats,
         }
         if include_results:
@@ -429,6 +432,7 @@ def execute(
     cache: Optional[ResultCache] = None,
     journal: Optional[str] = None,
     resume: Optional[str] = None,
+    store: Optional[str] = None,
     retry_timeouts: int = 1,
     retry_timeout_multiplier: float = 1.0,
     journal_fsync_every: int = 1,
@@ -437,12 +441,15 @@ def execute(
 ) -> RunReport:
     """Run a plan through a registered executor and report the outcome.
 
-    ``executor`` defaults to ``"shard-coordinator"`` when ``journal`` or
-    ``resume`` is given, ``"pool"`` when ``jobs > 1``, else ``"serial"``.
-    ``journal`` starts a fresh JSONL run journal at that directory;
-    ``resume`` continues from an existing one (cells already journaled are
-    served, not re-run, after checking the journal was written by this code
-    version and this exact plan).  Both require a journaling executor
+    ``executor`` defaults to ``"shard-coordinator"`` when ``journal``,
+    ``resume`` or ``store`` is given, ``"pool"`` when ``jobs > 1``, else
+    ``"serial"``.  ``journal`` starts a fresh JSONL run journal at that
+    directory; ``resume`` continues from an existing one (cells already
+    journaled are served, not re-run, after checking the journal was
+    written by this code version and this exact plan).  ``store`` records
+    the run -- its meta row plus every journaled cell append -- into a
+    SQLite :class:`repro.store.ExperimentStore` alongside (or instead of)
+    the JSONL journal.  All three require a journaling executor
     (``shard-coordinator`` or ``dispatch``).
 
     ``retry_timeout_multiplier`` scales a straggler retry's ``timeout_s``
@@ -459,7 +466,7 @@ def execute(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if executor is None:
-        if journal or resume:
+        if journal or resume or store:
             executor = "shard-coordinator"
         else:
             executor = "pool" if jobs > 1 else "serial"
@@ -479,6 +486,7 @@ def execute(
         group_topologies=group_topologies,
         journal_dir=journal,
         resume_dir=resume,
+        store_path=store,
         meta=meta,
         retry_timeouts=retry_timeouts,
         retry_timeout_multiplier=retry_timeout_multiplier,
@@ -507,5 +515,6 @@ def execute(
         dead_workers=outcome.dead_workers,
         retry_timeout_multiplier=retry_timeout_multiplier,
         journal=outcome.journal_path,
+        store=store,
         cache_stats=cache.stats() if cache is not None else None,
     )

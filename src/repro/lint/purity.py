@@ -5,7 +5,9 @@ PR 5 established the *no-fork rule*: options in
 compiled SABRE kernel vs. the bit-identical Python fallback) and must
 never influence a cell's identity -- not the :meth:`ResultCache.key`
 payload, not the journal's :func:`cell_key`, not the verify-policy
-sampling hash.  A fork would mean a sweep computed with the compiled
+sampling hash, not the experiment store's :func:`identity_columns`
+cell-key denormalization.  A fork would mean a sweep computed with the
+compiled
 kernel and the same sweep computed with the fallback stop sharing cache
 entries, journals stop resuming across machines, and the "bit-identical"
 guarantee quietly becomes "bit-identical per engine".
@@ -17,7 +19,7 @@ tests.  This checker makes it a static property of the tree:
    in ``repro/approaches.py``; any second definition elsewhere is a
    drift bomb (two lists that can disagree) and is flagged.
 2. **Sink discipline** -- every *identity sink* (a function that hashes
-   cell identity: the known three, plus any function in the tree that
+   cell identity: the known four, plus any function in the tree that
    feeds a ``hashlib.*`` digest from a kwargs-like parameter) must
    filter that parameter through ``... not in ENGINE_KWARGS`` before
    serializing it.  A sink iterating its kwargs without the guard is
@@ -62,6 +64,7 @@ KNOWN_SINKS: Tuple[Tuple[str, str], ...] = (
     ("ResultCache.key", "kwargs"),
     ("cell_key", "spec.kwargs"),
     ("sample_verifies", "params"),
+    ("identity_columns", "kwargs"),
 )
 
 #: parameter names that smell like an options mapping worth guarding
@@ -208,6 +211,7 @@ class CacheKeyPurityChecker(Checker):
             "src/repro/eval/cache.py",
             "src/repro/eval/journal.py",
             "src/repro/eval/runners.py",
+            "src/repro/store/store.py",
         ):
             ctx = project.context_module(rel)
             if ctx is not None and all(m.rel != rel for m in modules):

@@ -1,0 +1,35 @@
+"""`repro.store`: the SQLite-backed experiment store.
+
+One WAL-mode database unifying the three result formats that grew up
+separately -- the JSON-file-per-key ``ResultCache``, append-only JSONL run
+journals, and committed ``BENCH_*.json`` snapshots -- behind indexed
+queries and a conflict-checked merge enforced as a SQL constraint.
+
+The existing APIs are views over it: ``ResultCache`` opened on a ``.db``
+path stores cells here, the shard coordinator and dispatcher grow a store
+sink alongside their JSONL journals (``--store``), and
+``scripts/bench.py`` / ``scripts/perf_gate.py`` write/read bench history
+as rows.  CLI: ``python -m repro.store`` (``query``, ``history``,
+``import-legacy``, ``gc``, ``info``).
+"""
+
+from .schema import SCHEMA_VERSION, ensure_schema
+from .store import (
+    ExperimentStore,
+    JournalTee,
+    RunRecorder,
+    comparable_result,
+    identity_columns,
+    result_fingerprint,
+)
+
+__all__ = [
+    "ExperimentStore",
+    "JournalTee",
+    "RunRecorder",
+    "SCHEMA_VERSION",
+    "comparable_result",
+    "ensure_schema",
+    "identity_columns",
+    "result_fingerprint",
+]

@@ -1,0 +1,230 @@
+"""CLI for the experiment store: ``python -m repro.store <cmd> DB ...``.
+
+Subcommands
+-----------
+``query``
+    Indexed cell query over the cache table:
+    ``python -m repro.store query results.db --approach sabre --min-qubits 576``
+``history``
+    Wall-clock trend for pinned bench cells across recordings:
+    ``python -m repro.store history results.db --approach sabre --size 16``
+``runs``
+    Recorded runs (journal store sink), newest first.
+``import-legacy``
+    Ingest committed ``BENCH_*.json`` snapshots and/or cache/journal
+    directories, so history starts at PR 1 rather than empty:
+    ``python -m repro.store import-legacy results.db --bench BENCH_*.json``
+``gc``
+    Drop cells of superseded code versions (``--keep-codes N`` or
+    explicit ``--code V``); runs and bench history are never collected.
+``info``
+    Row counts per table and known code versions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .store import ExperimentStore
+
+__all__ = ["main"]
+
+
+def _print_table(rows: List[dict], columns: Sequence[str]) -> None:
+    if not rows:
+        print("(no rows)")
+        return
+    data = [[_fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in data))
+        for i, col in enumerate(columns)
+    ]
+    print("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    for line in data:
+        print("  ".join(val.ljust(w) for val, w in zip(line, widths)))
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _emit(rows: List[dict], columns: Sequence[str], as_json: bool) -> None:
+    if as_json:
+        json.dump(rows, sys.stdout, indent=1, sort_keys=True)
+        print()
+    else:
+        _print_table(rows, columns)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.store",
+        description="query and maintain a SQLite experiment store",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    q = sub.add_parser("query", help="indexed query over cached cells")
+    q.add_argument("db")
+    q.add_argument("--workload")
+    q.add_argument("--approach")
+    q.add_argument("--kind")
+    q.add_argument("--size", type=int)
+    q.add_argument("--min-qubits", type=int)
+    q.add_argument("--status")
+    q.add_argument("--code")
+    q.add_argument("--limit", type=int)
+    q.add_argument("--json", action="store_true", help="emit JSON rows")
+
+    h = sub.add_parser("history", help="bench wall-clock trend per cell")
+    h.add_argument("db")
+    h.add_argument("--suite")
+    h.add_argument("--group", dest="grp")
+    h.add_argument("--workload")
+    h.add_argument("--approach")
+    h.add_argument("--kind")
+    h.add_argument("--size", type=int)
+    h.add_argument("--limit", type=int)
+    h.add_argument("--json", action="store_true", help="emit JSON rows")
+
+    r = sub.add_parser("runs", help="recorded runs, newest first")
+    r.add_argument("db")
+    r.add_argument("--limit", type=int)
+    r.add_argument("--json", action="store_true", help="emit JSON rows")
+
+    imp = sub.add_parser(
+        "import-legacy",
+        help="ingest BENCH_*.json snapshots and cache/journal directories",
+    )
+    imp.add_argument("db")
+    imp.add_argument("--bench", nargs="*", default=[], metavar="FILE")
+    imp.add_argument("--cache", nargs="*", default=[], metavar="DIR")
+    imp.add_argument("--journal", nargs="*", default=[], metavar="DIR")
+
+    g = sub.add_parser("gc", help="drop cells of superseded code versions")
+    g.add_argument("db")
+    g.add_argument("--keep-codes", type=int, help="keep the newest N versions")
+    g.add_argument("--code", action="append", default=[], metavar="VERSION",
+                   help="drop this version explicitly (repeatable)")
+    g.add_argument("--dry-run", action="store_true")
+
+    i = sub.add_parser("info", help="row counts and code versions")
+    i.add_argument("db")
+
+    args = parser.parse_args(argv)
+
+    if args.cmd == "import-legacy" and not (
+        args.bench or args.cache or args.journal
+    ):
+        parser.error("import-legacy needs at least one --bench/--cache/--journal")
+    if args.cmd == "gc" and args.keep_codes is None and not args.code:
+        parser.error("gc needs --keep-codes N or --code VERSION")
+
+    with ExperimentStore(args.db) as store:
+        if args.cmd == "query":
+            rows = store.query_cells(
+                workload=args.workload,
+                approach=args.approach,
+                kind=args.kind,
+                size=args.size,
+                min_qubits=args.min_qubits,
+                status=args.status,
+                code=args.code,
+                limit=args.limit,
+            )
+            _emit(
+                rows,
+                ("workload", "approach", "kind", "size", "num_qubits",
+                 "status", "depth", "swap_count", "compile_time_s", "code"),
+                args.json,
+            )
+            print(f"{len(rows)} cell(s)", file=sys.stderr)
+        elif args.cmd == "history":
+            rows = store.bench_history(
+                suite=args.suite,
+                grp=args.grp,
+                workload=args.workload,
+                approach=args.approach,
+                kind=args.kind,
+                size=args.size,
+                limit=args.limit,
+            )
+            _emit(
+                rows,
+                ("timestamp", "commit_hash", "suite", "grp", "workload",
+                 "approach", "kind", "size", "status", "wall_s"),
+                args.json,
+            )
+            print(f"{len(rows)} bench cell(s)", file=sys.stderr)
+        elif args.cmd == "runs":
+            rows = store.list_runs(limit=args.limit)
+            _emit(
+                rows,
+                ("id", "experiment", "profile", "shard", "executor", "code",
+                 "appended", "status_counts", "wall_s", "started_at",
+                 "finished_at"),
+                args.json,
+            )
+        elif args.cmd == "import-legacy":
+            from . import legacy
+
+            for path in args.bench:
+                try:
+                    info = legacy.import_bench_file(store, path)
+                except ValueError as exc:
+                    print(f"bench {path}: skipped ({exc})")
+                    continue
+                print(
+                    f"bench {path}: recorded as id {info['bench_id']} "
+                    f"({info['cells']} cells, suite {info['suite']})"
+                )
+            for path in args.cache:
+                stats = legacy.import_cache_dir(store, path)
+                print(
+                    f"cache {path}: {stats['imported']} imported, "
+                    f"{stats['skipped']} skipped, {stats['invalid']} invalid"
+                )
+            for path in args.journal:
+                info = legacy.import_journal_dir(store, path)
+                print(f"journal {path}: run {info['run_id']}, {info['cells']} cells")
+        elif args.cmd == "gc":
+            out = store.gc(
+                keep_codes=args.keep_codes,
+                codes=tuple(args.code),
+                dry_run=args.dry_run,
+            )
+            verb = "would drop" if args.dry_run else "dropped"
+            print(
+                f"gc: {verb} {out['cells_deleted']} cell(s) across "
+                f"{len(out['codes_dropped'])} code version(s)"
+            )
+        elif args.cmd == "info":
+            counts = store.counts()
+            for table in sorted(counts):
+                print(f"{table:>14}: {counts[table]}")
+            versions = store.code_versions()
+            if versions:
+                print("code versions (newest first):")
+                for v in versions:
+                    print(
+                        f"  {v['version']}  first seen {v['first_seen']}  "
+                        f"{v['cells']} cell(s)"
+                    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Piping into `head` closes stdout early; exit quietly like cat(1).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        raise SystemExit(0)

@@ -1,0 +1,184 @@
+"""DDL for the SQLite experiment store.
+
+One database holds everything the repo previously scattered over three
+ad-hoc formats -- the JSON-file-per-key ``ResultCache``, append-only JSONL
+run journals, and committed ``BENCH_*.json`` snapshots:
+
+``cells``
+    The cache: one row per (spec, code version), keyed by the same 24-hex
+    content hash :meth:`ResultCache.key` computes, with the spec fields
+    denormalized into indexed columns so "all sabre cells >= 576q across
+    commits" is one ``SELECT``.  The full result payload is kept verbatim
+    as JSON (``result``) so store-backed reads are bit-equal to the
+    directory cache; ``fingerprint`` hashes the *deterministic* fields
+    (wall-clock and engine provenance excluded) and backs the
+    conflict-checked merge.  The ``UNIQUE (cell_key)`` constraint is the
+    merge-conflict detector: an ``INSERT`` racing an existing divergent row
+    raises, and the Python layer turns that into ``CacheMergeConflict``.
+
+``metrics``
+    Numeric metrics per cell, long-form ``(cell_id, name, value)``, so new
+    metric columns (e.g. a future fidelity score) need no schema change.
+
+``runs`` / ``run_cells``
+    The journal: one ``runs`` row per execution (meta mirroring the JSONL
+    journal's meta line -- experiment, profile, plan fingerprint, code
+    version, shard), and one ``run_cells`` row per journaled cell append,
+    in append order (``seq``).  Like the JSONL journal, a cell may appear
+    more than once (straggler retries); last-per-key wins at query time.
+
+``bench`` / ``bench_cells``
+    Bench history: one ``bench`` row per ``scripts/bench.py`` payload and
+    one ``bench_cells`` row per pinned cell, with the original cell JSON
+    kept verbatim so the perf gate can reconstruct a baseline payload
+    bit-equal to the committed ``BENCH_*.json`` snapshots it replaces.
+
+``code_versions``
+    Every code version that ever wrote a cell, with first-seen timestamps;
+    ``gc`` drops superseded versions' cells by this table.
+
+All timestamps are ISO-8601 UTC strings; they are provenance, never part
+of any key or fingerprint.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+__all__ = ["SCHEMA_VERSION", "ensure_schema"]
+
+#: Bump when the DDL changes incompatibly; ``ensure_schema`` refuses to
+#: open a database written by a different schema version rather than
+#: guessing at a migration.
+SCHEMA_VERSION = 1
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS code_versions (
+    version    TEXT PRIMARY KEY,
+    first_seen TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS cells (
+    id              INTEGER PRIMARY KEY,
+    cell_key        TEXT NOT NULL,
+    code            TEXT,
+    workload        TEXT,
+    approach        TEXT,
+    kind            TEXT,
+    size            INTEGER,
+    kwargs          TEXT,
+    rename          TEXT,
+    timeout_s       REAL,
+    workload_params TEXT,
+    verify          TEXT,
+    architecture    TEXT,
+    num_qubits      INTEGER,
+    status          TEXT NOT NULL,
+    verified        INTEGER,
+    fingerprint     TEXT NOT NULL,
+    result          TEXT NOT NULL,
+    created_at      TEXT NOT NULL,
+    UNIQUE (cell_key)
+);
+CREATE INDEX IF NOT EXISTS cells_by_spec   ON cells (approach, kind, size);
+CREATE INDEX IF NOT EXISTS cells_by_qubits ON cells (num_qubits);
+CREATE INDEX IF NOT EXISTS cells_by_code   ON cells (code);
+
+CREATE TABLE IF NOT EXISTS metrics (
+    cell_id INTEGER NOT NULL REFERENCES cells (id) ON DELETE CASCADE,
+    name    TEXT NOT NULL,
+    value   REAL NOT NULL,
+    PRIMARY KEY (cell_id, name)
+);
+CREATE INDEX IF NOT EXISTS metrics_by_name ON metrics (name, value);
+
+CREATE TABLE IF NOT EXISTS runs (
+    id            INTEGER PRIMARY KEY,
+    run_uid       TEXT NOT NULL UNIQUE,
+    experiment    TEXT,
+    profile       TEXT,
+    verify        TEXT,
+    shard         TEXT,
+    executor      TEXT,
+    jobs          INTEGER,
+    code          TEXT,
+    plan          TEXT,
+    wall_s        REAL,
+    status_counts TEXT,
+    source        TEXT,
+    started_at    TEXT NOT NULL,
+    finished_at   TEXT
+);
+CREATE INDEX IF NOT EXISTS runs_by_experiment ON runs (experiment);
+
+CREATE TABLE IF NOT EXISTS run_cells (
+    run_id     INTEGER NOT NULL REFERENCES runs (id) ON DELETE CASCADE,
+    seq        INTEGER NOT NULL,
+    cell_key   TEXT NOT NULL,
+    status     TEXT,
+    result     TEXT NOT NULL,
+    created_at TEXT NOT NULL,
+    PRIMARY KEY (run_id, seq)
+);
+CREATE INDEX IF NOT EXISTS run_cells_by_key ON run_cells (cell_key);
+
+CREATE TABLE IF NOT EXISTS bench (
+    id           INTEGER PRIMARY KEY,
+    suite        TEXT,
+    label        TEXT,
+    commit_hash  TEXT,
+    dirty        INTEGER,
+    timestamp    TEXT,
+    python       TEXT,
+    jobs         INTEGER,
+    total_wall_s REAL,
+    source       TEXT,
+    imported_at  TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS bench_by_suite ON bench (suite, timestamp);
+
+CREATE TABLE IF NOT EXISTS bench_cells (
+    bench_id INTEGER NOT NULL REFERENCES bench (id) ON DELETE CASCADE,
+    grp      TEXT NOT NULL,
+    seq      INTEGER NOT NULL,
+    workload TEXT,
+    approach TEXT,
+    kind     TEXT,
+    size     INTEGER,
+    qubits   INTEGER,
+    status   TEXT,
+    wall_s   REAL,
+    cell     TEXT NOT NULL,
+    PRIMARY KEY (bench_id, grp, seq)
+);
+CREATE INDEX IF NOT EXISTS bench_cells_by_spec
+    ON bench_cells (approach, kind, size);
+"""
+
+
+def ensure_schema(conn: sqlite3.Connection) -> None:
+    """Create the schema if absent; refuse a mismatched schema version."""
+
+    conn.executescript(_DDL)
+    row = conn.execute(
+        "SELECT value FROM meta WHERE key = 'schema_version'"
+    ).fetchone()
+    if row is None:
+        # OR IGNORE: two processes creating the same fresh database race to
+        # stamp the version; both are writing the same value.
+        conn.execute(
+            "INSERT OR IGNORE INTO meta (key, value) "
+            "VALUES ('schema_version', ?)",
+            (str(SCHEMA_VERSION),),
+        )
+    elif str(row[0]) != str(SCHEMA_VERSION):
+        raise ValueError(
+            f"store schema version {row[0]} != supported {SCHEMA_VERSION}; "
+            "this database was written by an incompatible repro version -- "
+            "export with its own tooling, or start a fresh store"
+        )

@@ -1,0 +1,913 @@
+"""`ExperimentStore`: one SQLite database under cache + journal + bench.
+
+The store is the queryable hub the ROADMAP calls for: cells (cache
+entries), run journals, and bench history land in one WAL-mode SQLite
+file with indexed spec columns, so cross-run questions ("all sabre cells
+>= 576q across commits", "wall-clock trend for this cell since PR 5")
+are single queries instead of directory spelunking.
+
+Design rules, inherited from the formats it replaces:
+
+* **Same keys.**  Cells are stored under the exact 24-hex content hash
+  :meth:`ResultCache.key` computes; :func:`identity_columns` denormalizes
+  the same spec fields into indexed columns, applying the same
+  ``ENGINE_KWARGS`` filter -- engine-selection options are bit-identical
+  by contract and must never fork a cell's identity, in columns any more
+  than in keys.
+* **Same bytes.**  The full result payload is stored verbatim as JSON, so
+  a store-backed read deserializes into a :class:`CompilationResult`
+  bit-equal to the directory cache's.
+* **Merge conflicts are a constraint, not a convention.**  ``cells`` has
+  ``UNIQUE (cell_key)``; :meth:`ExperimentStore.merge_cell` inserts and
+  lets SQLite raise, then compares deterministic fingerprints to decide
+  "duplicate shard result, skip" from "divergent result, raise
+  :class:`~repro.eval.cache.CacheMergeConflict`".  Wall-clock and engine
+  provenance are excluded from the fingerprint exactly as the directory
+  merge excludes them from its comparison.
+* **Durability like the journal.**  ``synchronous=FULL`` by default, so a
+  committed cell survives power loss; WAL mode keeps concurrent shard
+  writers and mid-run readers from blocking each other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import threading
+import uuid
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..approaches import ENGINE_KWARGS
+from .schema import SCHEMA_VERSION, ensure_schema
+
+__all__ = [
+    "ExperimentStore",
+    "RunRecorder",
+    "JournalTee",
+    "identity_columns",
+    "comparable_result",
+    "result_fingerprint",
+]
+
+#: result fields excluded from fingerprints/conflict checks: wall-clock is
+#: a property of the machine, not the spec (mirrors ``ResultCache``).
+VOLATILE_FIELDS = ("compile_time_s",)
+#: ``extra`` keys likewise excluded: which routing engine ran (``kernel``)
+#: and the cache-hit marker (``cache``) are provenance, not results.
+VOLATILE_EXTRA = ("kernel", "cache")
+
+#: numeric result fields mirrored into the long-form ``metrics`` table
+METRIC_FIELDS = (
+    "depth",
+    "unit_depth",
+    "swap_count",
+    "cphase_count",
+    "total_ops",
+    "compile_time_s",
+)
+
+
+def _utc_now() -> str:
+    """ISO-8601 UTC timestamp for provenance columns (never identity)."""
+
+    from datetime import datetime, timezone
+
+    now = datetime.now(timezone.utc)
+    return now.isoformat(timespec="seconds")
+
+
+def identity_columns(
+    approach: str,
+    kind: str,
+    size: int,
+    kwargs: Iterable[Tuple[str, object]] = (),
+    rename: Optional[str] = None,
+    timeout_s: Optional[float] = None,
+    workload: str = "qft",
+    workload_params: Iterable[Tuple[str, object]] = (),
+    verify: str = "full",
+) -> Dict[str, object]:
+    """Denormalized spec columns for one cell, mirroring ``ResultCache.key``.
+
+    These columns are what the store indexes queries on, so they carry the
+    same identity contract as the key itself: engine-selection options
+    (``ENGINE_KWARGS``, e.g. the SABRE routing kernel) are filtered out --
+    engines are bit-identical by contract, and a store populated on a
+    machine with the compiled kernel must answer queries identically to
+    one populated by the Python fallback.
+    """
+
+    return {
+        "approach": approach,
+        "kind": kind,
+        "size": int(size),
+        "kwargs": json.dumps(
+            sorted(
+                (str(k), repr(v))
+                for k, v in kwargs
+                if str(k) not in ENGINE_KWARGS
+            )
+        ),
+        "rename": rename,
+        "timeout_s": timeout_s,
+        "workload": workload,
+        "workload_params": json.dumps(
+            sorted((str(k), repr(v)) for k, v in workload_params)
+        ),
+        "verify": verify,
+    }
+
+
+def comparable_result(data: Dict[str, object]) -> Dict[str, object]:
+    """The deterministic view of a result dict (volatile fields dropped)."""
+
+    out = {k: v for k, v in data.items() if k not in VOLATILE_FIELDS}
+    extra = out.get("extra")
+    if isinstance(extra, dict):
+        out["extra"] = {k: v for k, v in extra.items() if k not in VOLATILE_EXTRA}
+    return out
+
+
+def result_fingerprint(data: Dict[str, object]) -> str:
+    """Content hash of the deterministic result fields (16 hex chars)."""
+
+    payload = json.dumps(comparable_result(data), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+class ExperimentStore:
+    """SQLite-backed experiment store (WAL mode, safe for concurrent use).
+
+    Parameters
+    ----------
+    path:
+        Database file.  Created (with parents) on first open.
+    timeout_s:
+        Lock-wait budget (``busy_timeout``): how long a writer blocks on a
+        concurrent transaction before giving up.
+    page_size:
+        Page size for *freshly created* databases (ignored on existing
+        files -- SQLite fixes it at creation).  The torn-write tests use a
+        small page so a single cell spans several pages.
+    synchronous:
+        ``"FULL"`` (default: a committed cell survives power loss, the
+        journal's durability bar) or ``"NORMAL"`` (WAL-safe but a late
+        commit may roll back after power loss) for throwaway runs.
+    """
+
+    def __init__(
+        self,
+        path,
+        *,
+        timeout_s: float = 30.0,
+        page_size: Optional[int] = None,
+        synchronous: str = "FULL",
+    ) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        # isolation_level=None: autocommit with explicit BEGIN IMMEDIATE in
+        # _tx(), so transaction boundaries are ours, not the driver's.
+        self._conn = sqlite3.connect(
+            str(self.path),
+            timeout=timeout_s,
+            isolation_level=None,
+            check_same_thread=False,
+        )
+        self._conn.row_factory = sqlite3.Row
+        cur = self._conn
+        cur.execute(f"PRAGMA busy_timeout = {int(timeout_s * 1000)}")
+        if page_size is not None:
+            cur.execute(f"PRAGMA page_size = {int(page_size)}")
+        cur.execute("PRAGMA journal_mode = WAL")
+        if synchronous.upper() not in ("FULL", "NORMAL"):
+            raise ValueError(f"synchronous must be FULL or NORMAL, not {synchronous!r}")
+        cur.execute(f"PRAGMA synchronous = {synchronous.upper()}")
+        cur.execute("PRAGMA foreign_keys = ON")
+        with self._lock:
+            ensure_schema(self._conn)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None  # type: ignore[assignment]
+
+    def __enter__(self) -> "ExperimentStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _tx(self):
+        """Serialized write transaction (``BEGIN IMMEDIATE`` ... commit)."""
+
+        return _Transaction(self._conn, self._lock)
+
+    # -- cells (the cache) ---------------------------------------------
+    def record_code_version(self, version: Optional[str]) -> None:
+        if not version:
+            return
+        with self._tx() as conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO code_versions (version, first_seen) "
+                "VALUES (?, ?)",
+                (version, _utc_now()),
+            )
+
+    def _cell_row(
+        self,
+        key: str,
+        data: Dict[str, object],
+        *,
+        code: Optional[str],
+        identity: Optional[Dict[str, object]],
+    ) -> Dict[str, object]:
+        identity = dict(identity or {})
+        row = {
+            "cell_key": key,
+            "code": code,
+            "workload": identity.get("workload", data.get("workload")),
+            "approach": identity.get("approach", data.get("approach")),
+            "kind": identity.get("kind"),
+            "size": identity.get("size"),
+            "kwargs": identity.get("kwargs"),
+            "rename": identity.get("rename"),
+            "timeout_s": identity.get("timeout_s"),
+            "workload_params": identity.get("workload_params"),
+            "verify": identity.get("verify"),
+            "architecture": data.get("architecture"),
+            "num_qubits": data.get("num_qubits"),
+            "status": data.get("status", "ok"),
+            "verified": (
+                None if data.get("verified") is None else int(bool(data["verified"]))
+            ),
+            "fingerprint": result_fingerprint(data),
+            "result": json.dumps(data, sort_keys=True),
+            "created_at": _utc_now(),
+        }
+        return row
+
+    @staticmethod
+    def _clean(result) -> Dict[str, object]:
+        """Result as a plain dict with the cache-hit marker stripped."""
+
+        data = result if isinstance(result, dict) else result.to_dict()
+        data = dict(data)
+        extra = data.get("extra")
+        if isinstance(extra, dict) and "cache" in extra:
+            data["extra"] = {k: v for k, v in extra.items() if k != "cache"}
+        return data
+
+    def put_cell(
+        self,
+        key: str,
+        result,
+        *,
+        code: Optional[str] = None,
+        identity: Optional[Dict[str, object]] = None,
+    ) -> None:
+        """Insert-or-overwrite one cell (the directory cache's ``put``)."""
+
+        data = self._clean(result)
+        row = self._cell_row(key, data, code=code, identity=identity)
+        cols = ", ".join(row)
+        marks = ", ".join("?" for _ in row)
+        sets = ", ".join(f"{c} = excluded.{c}" for c in row if c != "cell_key")
+        with self._tx() as conn:
+            if code:
+                conn.execute(
+                    "INSERT OR IGNORE INTO code_versions (version, first_seen) "
+                    "VALUES (?, ?)",
+                    (code, _utc_now()),
+                )
+            conn.execute(
+                f"INSERT INTO cells ({cols}) VALUES ({marks}) "
+                f"ON CONFLICT (cell_key) DO UPDATE SET {sets}",
+                tuple(row.values()),
+            )
+            self._refresh_metrics(conn, key, data)
+
+    def _refresh_metrics(self, conn, key: str, data: Dict[str, object]) -> None:
+        cell_id = conn.execute(
+            "SELECT id FROM cells WHERE cell_key = ?", (key,)
+        ).fetchone()[0]
+        conn.execute("DELETE FROM metrics WHERE cell_id = ?", (cell_id,))
+        rows = [
+            (cell_id, name, float(data[name]))
+            for name in METRIC_FIELDS
+            if isinstance(data.get(name), (int, float))
+            and not isinstance(data.get(name), bool)
+        ]
+        conn.executemany(
+            "INSERT INTO metrics (cell_id, name, value) VALUES (?, ?, ?)", rows
+        )
+
+    def merge_cell(
+        self,
+        key: str,
+        result,
+        *,
+        code: Optional[str] = None,
+        identity: Optional[Dict[str, object]] = None,
+        origin: str = "merge source",
+    ) -> str:
+        """Conflict-checked insert: the SQL-constraint form of cache merge.
+
+        Returns ``"imported"`` or ``"skipped"`` (key already present with an
+        equal deterministic fingerprint).  A present-but-divergent key
+        raises :class:`~repro.eval.cache.CacheMergeConflict`, triggered by
+        the ``UNIQUE (cell_key)`` constraint rather than a read-then-write
+        convention -- concurrent mergers cannot slip a divergent row past
+        the check.
+        """
+
+        data = self._clean(result)
+        row = self._cell_row(key, data, code=code, identity=identity)
+        cols = ", ".join(row)
+        marks = ", ".join("?" for _ in row)
+        try:
+            with self._tx() as conn:
+                if code:
+                    conn.execute(
+                        "INSERT OR IGNORE INTO code_versions "
+                        "(version, first_seen) VALUES (?, ?)",
+                        (code, _utc_now()),
+                    )
+                conn.execute(
+                    f"INSERT INTO cells ({cols}) VALUES ({marks})",
+                    tuple(row.values()),
+                )
+                self._refresh_metrics(conn, key, data)
+        except sqlite3.IntegrityError:
+            existing = self.get_cell(key)
+            if existing is not None and comparable_result(
+                existing
+            ) == comparable_result(data):
+                return "skipped"
+            from ..eval.cache import CacheMergeConflict
+
+            existing = existing or {}
+            differing = sorted(
+                k
+                for k in set(existing) | set(data)
+                if k not in VOLATILE_FIELDS and existing.get(k) != data.get(k)
+            )
+            raise CacheMergeConflict(
+                f"store cell {key} from {origin} disagrees with the "
+                f"existing row on field(s) {', '.join(differing)}; same key "
+                "+ same code version must mean identical results -- one of "
+                "the stores is corrupt"
+            ) from None
+        return "imported"
+
+    def get_cell(self, key: str) -> Optional[Dict[str, object]]:
+        """The stored result dict for ``key``, or ``None``."""
+
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result FROM cells WHERE cell_key = ?", (key,)
+            ).fetchone()
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except ValueError:
+            return None
+
+    def iter_cells(self) -> Iterator[Dict[str, object]]:
+        """Every cell row (identity columns + parsed result), by key order."""
+
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM cells ORDER BY cell_key"
+            ).fetchall()
+        for row in rows:
+            out = dict(row)
+            out["result"] = json.loads(out["result"])
+            yield out
+
+    def merge_from(self, source) -> Dict[str, int]:
+        """Union another store (``.db``) or cache directory into this one.
+
+        Same contract as :meth:`ResultCache.merge`: sorted key order,
+        unreadable entries counted as ``invalid``, present-and-equal keys
+        ``skipped``, divergent keys raise ``CacheMergeConflict``.
+        """
+
+        src = Path(source)
+        imported = skipped = invalid = 0
+        if src.suffix == ".db":
+            if not src.is_file():
+                raise FileNotFoundError(f"store {src} does not exist")
+            with ExperimentStore(src) as other:
+                for cell in other.iter_cells():
+                    identity = {
+                        k: cell[k]
+                        for k in (
+                            "workload", "approach", "kind", "size", "kwargs",
+                            "rename", "timeout_s", "workload_params", "verify",
+                        )
+                    }
+                    outcome = self.merge_cell(
+                        cell["cell_key"],
+                        cell["result"],
+                        code=cell["code"],
+                        identity=identity,
+                        origin=str(src),
+                    )
+                    if outcome == "imported":
+                        imported += 1
+                    else:
+                        skipped += 1
+            return {"imported": imported, "skipped": skipped, "invalid": invalid}
+        if not src.is_dir():
+            raise FileNotFoundError(f"cache directory {src} does not exist")
+        from ..eval.metrics import CompilationResult
+
+        for path in sorted(src.glob("*.json")):
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                CompilationResult.from_dict(data)
+            except (OSError, ValueError, TypeError):
+                invalid += 1
+                continue
+            outcome = self.merge_cell(path.stem, data, origin=str(src))
+            if outcome == "imported":
+                imported += 1
+            else:
+                skipped += 1
+        return {"imported": imported, "skipped": skipped, "invalid": invalid}
+
+    def query_cells(
+        self,
+        *,
+        workload: Optional[str] = None,
+        approach: Optional[str] = None,
+        kind: Optional[str] = None,
+        size: Optional[int] = None,
+        min_qubits: Optional[int] = None,
+        status: Optional[str] = None,
+        code: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, object]]:
+        """Indexed cell query; each row is identity columns + result fields."""
+
+        clauses, params = [], []
+        for col, val in (
+            ("workload", workload),
+            ("approach", approach),
+            ("kind", kind),
+            ("size", size),
+            ("status", status),
+            ("code", code),
+        ):
+            if val is not None:
+                clauses.append(f"{col} = ?")
+                params.append(val)
+        if min_qubits is not None:
+            clauses.append("num_qubits >= ?")
+            params.append(min_qubits)
+        sql = "SELECT * FROM cells"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY workload, approach, kind, size, cell_key"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(sql, params).fetchall()
+        out = []
+        for row in rows:
+            rec = dict(row)
+            result = json.loads(rec.pop("result"))
+            for field_name in METRIC_FIELDS:
+                rec[field_name] = result.get(field_name)
+            rec["message"] = result.get("message")
+            out.append(rec)
+        return out
+
+    # -- runs (the journal's store sink) --------------------------------
+    def begin_run(
+        self,
+        meta: Dict[str, object],
+        *,
+        executor: Optional[str] = None,
+        jobs: Optional[int] = None,
+        source: Optional[str] = None,
+    ) -> int:
+        """Open a run row mirroring the JSONL journal's meta line."""
+
+        shard = meta.get("shard")
+        with self._tx() as conn:
+            if meta.get("code"):
+                conn.execute(
+                    "INSERT OR IGNORE INTO code_versions (version, first_seen) "
+                    "VALUES (?, ?)",
+                    (meta["code"], _utc_now()),
+                )
+            cur = conn.execute(
+                "INSERT INTO runs (run_uid, experiment, profile, verify, "
+                "shard, executor, jobs, code, plan, source, started_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    uuid.uuid4().hex[:16],
+                    meta.get("experiment"),
+                    meta.get("profile"),
+                    meta.get("verify"),
+                    None if shard is None else str(shard),
+                    executor,
+                    jobs,
+                    meta.get("code"),
+                    meta.get("plan"),
+                    source,
+                    _utc_now(),
+                ),
+            )
+            return int(cur.lastrowid)
+
+    def append_run_cell(self, run_id: int, key: str, result) -> None:
+        """Record one journaled cell append (append order preserved)."""
+
+        data = self._clean(result)
+        with self._tx() as conn:
+            seq = conn.execute(
+                "SELECT COALESCE(MAX(seq), -1) + 1 FROM run_cells "
+                "WHERE run_id = ?",
+                (run_id,),
+            ).fetchone()[0]
+            conn.execute(
+                "INSERT INTO run_cells (run_id, seq, cell_key, status, "
+                "result, created_at) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    run_id,
+                    seq,
+                    key,
+                    data.get("status"),
+                    json.dumps(data, sort_keys=True),
+                    _utc_now(),
+                ),
+            )
+
+    def finish_run(self, run_id: int, *, wall_s: Optional[float] = None) -> None:
+        """Close a run row; status counts come from its own appended cells."""
+
+        with self._tx() as conn:
+            counts = dict(
+                conn.execute(
+                    "SELECT status, COUNT(*) FROM ("
+                    "  SELECT cell_key, status, MAX(seq) FROM run_cells "
+                    "  WHERE run_id = ? GROUP BY cell_key"
+                    ") GROUP BY status ORDER BY status",
+                    (run_id,),
+                ).fetchall()
+            )
+            conn.execute(
+                "UPDATE runs SET finished_at = ?, wall_s = ?, "
+                "status_counts = ? WHERE id = ?",
+                (_utc_now(), wall_s, json.dumps(counts, sort_keys=True), run_id),
+            )
+
+    def run_results(self, run_id: int) -> Dict[str, Dict[str, object]]:
+        """Journaled results by cell key (last append wins, like JSONL)."""
+
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT cell_key, result FROM run_cells WHERE run_id = ? "
+                "ORDER BY seq",
+                (run_id,),
+            ).fetchall()
+        out: Dict[str, Dict[str, object]] = {}
+        for key, payload in rows:
+            out[key] = json.loads(payload)
+        return out
+
+    def list_runs(self, *, limit: Optional[int] = None) -> List[Dict[str, object]]:
+        sql = (
+            "SELECT r.*, COUNT(rc.cell_key) AS appended FROM runs r "
+            "LEFT JOIN run_cells rc ON rc.run_id = r.id "
+            "GROUP BY r.id ORDER BY r.id DESC"
+        )
+        params: List[object] = []
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            return [dict(r) for r in self._conn.execute(sql, params).fetchall()]
+
+    # -- bench history ---------------------------------------------------
+    def record_bench(self, payload: Dict[str, object], *, source: Optional[str] = None) -> int:
+        """Ingest one ``scripts/bench.py`` payload (cells kept verbatim)."""
+
+        with self._tx() as conn:
+            cur = conn.execute(
+                "INSERT INTO bench (suite, label, commit_hash, dirty, "
+                "timestamp, python, jobs, total_wall_s, source, imported_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    payload.get("suite"),
+                    payload.get("label"),
+                    payload.get("commit"),
+                    None if payload.get("dirty") is None else int(bool(payload["dirty"])),
+                    payload.get("timestamp"),
+                    payload.get("python"),
+                    payload.get("jobs"),
+                    payload.get("total_wall_s"),
+                    source,
+                    _utc_now(),
+                ),
+            )
+            bench_id = int(cur.lastrowid)
+            for group in payload.get("groups", ()):
+                for seq, cell in enumerate(group.get("cells", ())):
+                    conn.execute(
+                        "INSERT INTO bench_cells (bench_id, grp, seq, "
+                        "workload, approach, kind, size, qubits, status, "
+                        "wall_s, cell) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            bench_id,
+                            group.get("name"),
+                            seq,
+                            cell.get("workload"),
+                            cell.get("approach"),
+                            cell.get("kind"),
+                            cell.get("size"),
+                            cell.get("qubits"),
+                            cell.get("status"),
+                            cell.get("compile_time_s"),
+                            json.dumps(cell, sort_keys=True),
+                        ),
+                    )
+            return bench_id
+
+    def bench_payload(self, bench_id: int) -> Optional[Dict[str, object]]:
+        """Reconstruct a bench payload bit-equal in cells to its source."""
+
+        with self._lock:
+            head = self._conn.execute(
+                "SELECT * FROM bench WHERE id = ?", (bench_id,)
+            ).fetchone()
+            rows = self._conn.execute(
+                "SELECT grp, cell FROM bench_cells WHERE bench_id = ? "
+                "ORDER BY rowid",
+                (bench_id,),
+            ).fetchall()
+        if head is None:
+            return None
+        groups: List[Dict[str, object]] = []
+        by_name: Dict[str, Dict[str, object]] = {}
+        for grp, cell in rows:
+            bucket = by_name.get(grp)
+            if bucket is None:
+                bucket = {"name": grp, "cells": []}
+                by_name[grp] = bucket
+                groups.append(bucket)
+            bucket["cells"].append(json.loads(cell))
+        return {
+            "suite": head["suite"],
+            "label": head["label"],
+            "commit": head["commit_hash"],
+            "dirty": None if head["dirty"] is None else bool(head["dirty"]),
+            "timestamp": head["timestamp"],
+            "python": head["python"],
+            "jobs": head["jobs"],
+            "total_wall_s": head["total_wall_s"],
+            "groups": groups,
+        }
+
+    def latest_baseline(
+        self, suite: str, *, commit: Optional[str] = None
+    ) -> Optional[Dict[str, object]]:
+        """Latest recorded bench payload for ``suite`` (optionally pinned
+        to a commit) -- the perf gate's baseline query."""
+
+        sql = "SELECT id FROM bench WHERE suite = ?"
+        params: List[object] = [suite]
+        if commit is not None:
+            sql += " AND commit_hash = ?"
+            params.append(commit)
+        sql += " ORDER BY timestamp DESC, id DESC LIMIT 1"
+        with self._lock:
+            row = self._conn.execute(sql, params).fetchone()
+        return None if row is None else self.bench_payload(int(row[0]))
+
+    def bench_history(
+        self,
+        *,
+        suite: Optional[str] = None,
+        grp: Optional[str] = None,
+        workload: Optional[str] = None,
+        approach: Optional[str] = None,
+        kind: Optional[str] = None,
+        size: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict[str, object]]:
+        """Wall-clock trend rows for pinned bench cells across recordings."""
+
+        clauses, params = [], []
+        for col, val in (
+            ("b.suite", suite),
+            ("c.grp", grp),
+            ("c.workload", workload),
+            ("c.approach", approach),
+            ("c.kind", kind),
+            ("c.size", size),
+        ):
+            if val is not None:
+                clauses.append(f"{col} = ?")
+                params.append(val)
+        sql = (
+            "SELECT b.timestamp, b.commit_hash, b.label, b.suite, c.grp, "
+            "c.workload, c.approach, c.kind, c.size, c.status, c.wall_s "
+            "FROM bench_cells c JOIN bench b ON b.id = c.bench_id"
+        )
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += (
+            " ORDER BY b.timestamp, b.id, c.grp, c.seq"
+        )
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(int(limit))
+        with self._lock:
+            return [dict(r) for r in self._conn.execute(sql, params).fetchall()]
+
+    # -- maintenance -----------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        out = {}
+        with self._lock:
+            for table in ("cells", "metrics", "runs", "run_cells", "bench",
+                          "bench_cells", "code_versions"):
+                out[table] = self._conn.execute(
+                    f"SELECT COUNT(*) FROM {table}"
+                ).fetchone()[0]
+        return out
+
+    def code_versions(self) -> List[Dict[str, object]]:
+        """Known code versions, newest first, with their cell counts."""
+
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT v.version, v.first_seen, COUNT(c.id) AS cells "
+                "FROM code_versions v LEFT JOIN cells c ON c.code = v.version "
+                "GROUP BY v.version "
+                "ORDER BY v.first_seen DESC, v.version DESC"
+            ).fetchall()
+        return [dict(r) for r in rows]
+
+    def gc(
+        self,
+        *,
+        keep_codes: Optional[int] = None,
+        codes: Sequence[str] = (),
+        dry_run: bool = False,
+    ) -> Dict[str, object]:
+        """Drop cells of superseded code versions (and the versions).
+
+        Either name versions explicitly (``codes``) or keep the newest
+        ``keep_codes`` versions by first-seen time and drop the rest.
+        Runs and bench history are never collected: they are the historical
+        record the store exists to keep.
+        """
+
+        if codes:
+            drop = sorted(set(codes))
+        elif keep_codes is not None:
+            if keep_codes < 1:
+                raise ValueError("keep_codes must be >= 1")
+            known = [v["version"] for v in self.code_versions()]
+            drop = known[keep_codes:]
+        else:
+            raise ValueError("gc needs either codes or keep_codes")
+        marks = ", ".join("?" for _ in drop) or "NULL"
+        with self._lock:
+            doomed = self._conn.execute(
+                f"SELECT COUNT(*) FROM cells WHERE code IN ({marks})", drop
+            ).fetchone()[0]
+        if not dry_run and drop:
+            with self._tx() as conn:
+                conn.execute(f"DELETE FROM cells WHERE code IN ({marks})", drop)
+                conn.execute(
+                    f"DELETE FROM code_versions WHERE version IN ({marks})", drop
+                )
+            with self._lock:
+                self._conn.execute("VACUUM")
+        return {"codes_dropped": drop, "cells_deleted": doomed, "dry_run": dry_run}
+
+
+class _Transaction:
+    """``BEGIN IMMEDIATE`` ... ``COMMIT``/``ROLLBACK``, under the store lock."""
+
+    def __init__(self, conn: sqlite3.Connection, lock: threading.RLock) -> None:
+        self._conn = conn
+        self._lock = lock
+
+    def __enter__(self) -> sqlite3.Connection:
+        self._lock.acquire()
+        try:
+            self._conn.execute("BEGIN IMMEDIATE")
+        except BaseException:
+            self._lock.release()
+            raise
+        return self._conn
+
+    def __exit__(self, exc_type, *exc) -> None:
+        try:
+            if exc_type is None:
+                self._conn.execute("COMMIT")
+            else:
+                self._conn.execute("ROLLBACK")
+        finally:
+            self._lock.release()
+
+
+class RunRecorder:
+    """The journal's store sink: one ``runs`` row plus per-cell appends.
+
+    Mirrors the :class:`~repro.eval.journal.RunJournal` lifecycle --
+    created before the first cell, appended per finished cell, finished in
+    the executor's ``finally`` -- so a crashed run leaves a run row whose
+    ``run_cells`` prefix is exactly the set of durably finished cells.
+    """
+
+    def __init__(
+        self,
+        store: ExperimentStore,
+        meta: Dict[str, object],
+        *,
+        executor: Optional[str] = None,
+        jobs: Optional[int] = None,
+        source: Optional[str] = None,
+        owns_store: bool = True,
+    ) -> None:
+        import time
+
+        self.store = store
+        self._owns_store = owns_store
+        self.run_id = store.begin_run(
+            meta, executor=executor, jobs=jobs, source=source
+        )
+        self.appended = 0
+        self._wall_t0 = time.monotonic()
+        self._finished = False
+
+    def append(self, key: str, result) -> None:
+        self.store.append_run_cell(self.run_id, key, result)
+        self.appended += 1
+
+    def finish(self) -> None:
+        """Close the run row (idempotent; safe in ``finally`` blocks)."""
+
+        if self._finished:
+            return
+        self._finished = True
+        import time
+
+        wall = time.monotonic() - self._wall_t0
+        try:
+            self.store.finish_run(self.run_id, wall_s=round(wall, 3))
+        finally:
+            if self._owns_store:
+                self.store.close()
+
+
+class JournalTee:
+    """A ``RunJournal``-shaped sink fanning appends out to JSONL + store.
+
+    The dispatcher and shard coordinator journal through a single object;
+    handing them a tee keeps the single-writer discipline (PR 7) while the
+    store records the same appends.  The JSONL journal stays the resume
+    source of truth; ``close`` here closes only the journal -- the caller
+    finishes the recorder in its own ``finally``.
+    """
+
+    def __init__(self, journal, recorder: RunRecorder) -> None:
+        self._journal = journal
+        self._recorder = recorder
+
+    @property
+    def meta(self) -> Dict[str, object]:
+        return self._journal.meta if self._journal is not None else {}
+
+    @property
+    def path(self):
+        return self._journal.path if self._journal is not None else None
+
+    def append(self, key: str, result) -> None:
+        if self._journal is not None:
+            self._journal.append(key, result)
+        self._recorder.append(key, result)
+
+    def results(self):
+        return self._journal.results() if self._journal is not None else {}
+
+    def __len__(self) -> int:
+        return len(self._journal) if self._journal is not None else self._recorder.appended
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()

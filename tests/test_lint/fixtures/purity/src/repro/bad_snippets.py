@@ -1,6 +1,7 @@
 """Cache-purity fixtures that MUST each produce a finding."""
 
 import hashlib
+import json
 
 from .approaches import ENGINE_KWARGS  # noqa: F401  (imported, unused here)
 
@@ -32,6 +33,17 @@ def forwarding_wrapper(cache, kwargs):
 def transitive_injection(cache):
     # the literal enters one wrapper above the sink
     return forwarding_wrapper(cache, [("kernel", "python")])  # FINDING
+
+
+def identity_columns(approach, kind, size, kwargs=()):
+    # store cell-key denormalization missing the no-fork filter
+    payload = json.dumps(sorted((str(k), repr(v)) for k, v in kwargs))  # FINDING
+    return {"approach": approach, "kind": kind, "size": size, "kwargs": payload}
+
+
+def store_injection():
+    # engine kwarg literal entering the store's cell identity
+    return identity_columns("sabre", "grid", 5, kwargs=[("kernel", "c")])  # FINDING
 
 
 ENGINE_KWARGS_COPY = None

@@ -1,6 +1,7 @@
 """Cache-purity fixtures that MUST all pass clean."""
 
 import hashlib
+import json
 
 from .approaches import ENGINE_KWARGS
 
@@ -34,3 +35,18 @@ def forwarding_wrapper(cache, kwargs):
 
 def clean_transitive(cache):
     return forwarding_wrapper(cache, [("seed", 2)])
+
+
+def identity_columns(approach, kind, size, kwargs=()):
+    """Store cell-key denormalization with the sanctioned filter."""
+
+    payload = json.dumps(
+        sorted(
+            (str(k), repr(v)) for k, v in kwargs if str(k) not in ENGINE_KWARGS
+        )
+    )
+    return {"approach": approach, "kind": kind, "size": size, "kwargs": payload}
+
+
+def clean_store_call():
+    return identity_columns("sabre", "grid", 5, kwargs=[("seed", 1)])

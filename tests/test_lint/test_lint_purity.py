@@ -30,11 +30,14 @@ def test_good_fixture_is_clean(lint_purity_fixture):
 def test_each_rule_fires(lint_purity_fixture):
     findings = lint_purity_fixture("bad_snippets.py")
     blob = "\n".join(f.message for f in findings)
-    # unguarded known sink (ResultCache.key) + autodetected hashlib sink
+    # unguarded known sinks (ResultCache.key, the store's identity_columns)
+    # + autodetected hashlib sink
     assert "identity sink ResultCache.key()" in blob
+    assert "identity sink identity_columns()" in blob
     assert "identity sink hash_options()" in blob
-    # engine literal caught at the call site, direct and through a wrapper
-    assert blob.count("engine kwarg ['kernel']") == 2
+    # engine literal caught at the call site: direct into the cache sink,
+    # through a forwarding wrapper, and direct into the store sink
+    assert blob.count("engine kwarg ['kernel']") == 3
     # single-source-of-truth rule
     assert "redefined outside approaches.py" in blob
 
@@ -72,7 +75,7 @@ def test_checker_is_silent_outside_a_repro_tree(tmp_path):
 
 
 def test_real_sinks_pass_by_guard_not_by_accident(repo_root):
-    """Lint only the three real sink modules: the engine-kwarg filter in
+    """Lint only the four real sink modules: the engine-kwarg filter in
     each must satisfy the checker (0 findings), proving the production
     guards are the thing keeping the tree clean."""
 
@@ -81,6 +84,7 @@ def test_real_sinks_pass_by_guard_not_by_accident(repo_root):
             repo_root / "src" / "repro" / "eval" / "cache.py",
             repo_root / "src" / "repro" / "eval" / "journal.py",
             repo_root / "src" / "repro" / "eval" / "runners.py",
+            repo_root / "src" / "repro" / "store" / "store.py",
         ],
         root=repo_root,
         only=["cache-purity"],
