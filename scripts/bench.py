@@ -137,7 +137,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     groups = []
-    t_suite = time.perf_counter()
+    suite_start = time.perf_counter()
     for name, specs in _suite(args.smoke):
         # Each group runs as one plan through the run API, so the output
         # records the typed RunReport (executor name, status counts, wall)
@@ -158,16 +158,16 @@ def main(argv=None) -> int:
             f"{report.executor})",
             flush=True,
         )
-    total = time.perf_counter() - t_suite
+    total = time.perf_counter() - suite_start
 
     payload = {
         "suite": "smoke" if args.smoke else "full",
         "label": args.label,
         "commit": _git("rev-parse", "HEAD"),
         "dirty": bool(_git("status", "--porcelain")),
-        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
-            timespec="seconds"
-        ),
+        "timestamp": datetime.datetime.now(  # repro-lint: ignore[determinism] -- bench provenance stamp, never identity
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds"),
         "python": sys.version.split()[0],
         "jobs": args.jobs,
         "total_wall_s": round(total, 3),

@@ -15,12 +15,59 @@ cd "$(dirname "$0")/.."
 # cheapest gate (a couple of seconds, no builds), so it runs before anything
 # else -- and `--lint-only` lets the dedicated CI lint job stop here.
 # ---------------------------------------------------------------------------
-echo "=== repro.lint: static invariant checks ==="
-PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.lint src/repro \
-    --baseline LINT_BASELINE.txt
+# Inside GitHub Actions, findings render as workflow annotations so they
+# land on the diff; locally they stay plain file:line:checker:message.
+lint_format="text"
+if [ -n "${GITHUB_ACTIONS:-}" ]; then
+    lint_format="github"
+fi
+echo "=== repro.lint: static invariant checks (all seven checkers) ==="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.lint --target src \
+    --baseline LINT_BASELINE.txt --format "$lint_format"
+echo "=== repro.lint: scripts/ + tests/ (determinism, error-discipline) ==="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.lint --target tools \
+    --format "$lint_format"
 echo "lint ok"
 if [ "${1:-}" = "--lint-only" ]; then
     echo "ci.sh: lint-only run complete"
+    exit 0
+fi
+
+# ---------------------------------------------------------------------------
+# `--analyze-only`: static analysis of the C routing kernel, warnings as
+# errors.  repro.lint cannot see into _sabre_kernel.c; this leg runs next to
+# the ASAN job so memory bugs are caught both statically and dynamically.
+# Prefers cppcheck, then clang --analyze, then gcc -fanalyzer -- CI installs
+# cppcheck, the fallback keeps the leg meaningful on bare toolchains.
+# Suppressions live in scripts/analyze_suppressions.txt (cppcheck syntax;
+# `gcc-disable:` lines turn into -Wno-analyzer-* flags for the fallback).
+# ---------------------------------------------------------------------------
+if [ "${1:-}" = "--analyze-only" ]; then
+    kernel_c="src/repro/baselines/_sabre_kernel.c"
+    py_inc=$(python -c "import sysconfig; print(sysconfig.get_paths()['include'])")
+    suppressions="scripts/analyze_suppressions.txt"
+    if command -v cppcheck >/dev/null 2>&1; then
+        echo "=== analyze: cppcheck (warnings as errors) ==="
+        cppcheck --std=c99 --enable=warning,portability,performance \
+            --error-exitcode=1 --inline-suppr \
+            --suppressions-list="$suppressions" \
+            -I"$py_inc" "$kernel_c"
+    elif command -v clang >/dev/null 2>&1; then
+        echo "=== analyze: clang --analyze (warnings as errors) ==="
+        clang --analyze --analyzer-output text -Xclang -analyzer-werror \
+            -Wall -Wextra -Werror -I"$py_inc" "$kernel_c"
+    else
+        echo "=== analyze: gcc -fanalyzer (warnings as errors) ==="
+        gcc_flags=()
+        while IFS= read -r line; do
+            case "$line" in
+                gcc-disable:*) gcc_flags+=("-Wno-analyzer-${line#gcc-disable:}") ;;
+            esac
+        done < "$suppressions"
+        gcc -fanalyzer -Wall -Wextra -Werror -O1 "${gcc_flags[@]}" \
+            -I"$py_inc" -c "$kernel_c" -o /dev/null
+    fi
+    echo "ci.sh: analyze-only run complete"
     exit 0
 fi
 

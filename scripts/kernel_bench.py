@@ -54,7 +54,8 @@ def bench_size(m: int, seed: int) -> dict:
             mapped_ref = mapped
         else:
             # swap-for-swap comparability (and a free equivalence check)
-            assert mapped.ops == mapped_ref.ops, f"kernels diverged at m={m}"
+            if mapped.ops != mapped_ref.ops:
+                raise RuntimeError(f"kernels diverged at m={m}")
     row["speedup"] = round(row["python"]["us_per_iter"] / row["c"]["us_per_iter"], 2)
     return row
 

@@ -7,9 +7,13 @@ engine options, journals that resume bit-equal -- are enforced here as
 every file (not just the (workload, architecture, seed) points the
 equivalence suites happen to sample).
 
-Four checkers ship built-in, registered through the same
+Seven checkers ship built-in, registered through the same
 :class:`~repro.registry.Registry` mechanism as workloads, approaches and
-architectures (:func:`register_checker` to plug in more):
+architectures (:func:`register_checker` to plug in more).  They share a
+single whole-program index (:mod:`repro.lint.graph`): each file is
+parsed once per run, and import-aware symbol resolution plus a call
+graph with forward/backward reachability are built on demand and reused
+by every checker.
 
 ``determinism``
     Set iteration feeding ordered output, global-RNG calls, unsorted
@@ -24,6 +28,20 @@ architectures (:func:`register_checker` to plug in more):
 ``error-discipline``
     No bare ``except``, no silently-swallowed broad excepts, no
     ``assert`` as control flow in library code.
+``concurrency``
+    Fork-unsafe resources (sqlite3 connections, open handles, RNG
+    instances, locks) must not cross a fork/submit boundary into worker
+    code, and nothing async-signal-unsafe may be reachable from the
+    ``cell_budget`` SIGALRM handler (call-graph reachability).
+``transaction-discipline``
+    Every ``BEGIN IMMEDIATE`` reaches ``commit()``/``rollback()`` on
+    both the non-raising and raising paths (CFG walk over
+    try/except/finally/with), and no raw write runs outside a
+    transaction helper.
+``sql-schema``
+    Every SQL string executed in ``store/`` references only tables and
+    columns declared in ``store/schema.py``, with matching placeholder
+    arity (stdlib-only SQL tokenizer).
 
 Run it as ``python -m repro.lint [paths] [--baseline FILE] [--fix-hints]``;
 findings render ``file:line:checker:message``, are suppressible per line
@@ -50,6 +68,9 @@ from . import determinism as _determinism  # noqa: F401,E402
 from . import purity as _purity  # noqa: F401,E402
 from . import hygiene as _hygiene  # noqa: F401,E402
 from . import discipline as _discipline  # noqa: F401,E402
+from . import concurrency as _concurrency  # noqa: F401,E402
+from . import transactions as _transactions  # noqa: F401,E402
+from . import sql as _sql  # noqa: F401,E402
 
 __all__ = [
     "Finding",

@@ -159,6 +159,7 @@ class Project:
         self.tests_root = tests_root if tests_root is not None else self.root / "tests"
         self._context_cache: Dict[str, Optional[Module]] = {}
         self._tests_text: Optional[str] = None
+        self._graph = None
         #: parse failures encountered while loading targets, as findings
         self.parse_errors: List[Finding] = []
 
@@ -240,6 +241,20 @@ class Project:
                 else:
                     self._context_cache[relpath] = None
         return self._context_cache[relpath]
+
+    def graph(self):
+        """The shared whole-program index (:class:`~repro.lint.graph.ProjectGraph`).
+
+        Built lazily on first use and cached, so the symbol tables and
+        call graph are constructed once per lint run no matter how many
+        checkers consult them.
+        """
+
+        if self._graph is None:
+            from .graph import ProjectGraph
+
+            self._graph = ProjectGraph(self)
+        return self._graph
 
     def tests_text(self) -> str:
         """Concatenated source of every ``*.py`` under the tests root."""

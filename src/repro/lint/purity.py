@@ -49,7 +49,6 @@ from .framework import (
     Module,
     Project,
     call_name,
-    iter_functions,
     register_checker,
 )
 
@@ -202,24 +201,32 @@ class CacheKeyPurityChecker(Checker):
 
     # ------------------------------------------------------------------
     def _collect_sinks(self, project: Project) -> _SinkTable:
-        """Known sinks plus autodetected kwargs-hashing functions."""
+        """Known sinks plus autodetected kwargs-hashing functions.
 
+        Iterates the shared :class:`~repro.lint.graph.ProjectGraph` symbol
+        tables (targets plus the four sink-home context modules) instead
+        of re-walking every AST.
+        """
+
+        graph = project.graph()
         sinks = _SinkTable()
         known = dict(KNOWN_SINKS)
-        modules = list(project.targets)
+        rels = [m.rel for m in project.targets]
         for rel in (
             "src/repro/eval/cache.py",
             "src/repro/eval/journal.py",
             "src/repro/eval/runners.py",
             "src/repro/store/store.py",
         ):
-            ctx = project.context_module(rel)
-            if ctx is not None and all(m.rel != rel for m in modules):
-                modules.append(ctx)
-        for module in modules:
-            for qual, func in iter_functions(module.tree):
+            if rel not in rels and graph.index_for(rel) is not None:
+                rels.append(rel)
+        for rel in rels:
+            index = graph.modules.get(rel)
+            if index is None:
+                continue
+            for qual, func in index.functions.items():
                 if qual in known:
-                    sinks.add(module.rel, qual, known[qual], func)
+                    sinks.add(rel, qual, known[qual], func)
                     continue
                 # autodetect: hashes identity AND takes a kwargs-like param
                 params = [
@@ -232,7 +239,7 @@ class CacheKeyPurityChecker(Checker):
                     and call_name(n).startswith("hashlib.")
                     for n in ast.walk(func)
                 ):
-                    sinks.add(module.rel, qual, params[0], func)
+                    sinks.add(rel, qual, params[0], func)
         return sinks
 
     def _check_sink_bodies(
@@ -325,50 +332,68 @@ class CacheKeyPurityChecker(Checker):
         A caller that instead forwards one of *its own* parameters becomes
         a derived sink, so the literal is caught at whatever call depth it
         enters the flow.
+
+        Candidate call sites come from the shared project graph's
+        tail-indexed call table: instead of re-walking every function per
+        fixpoint round, each (derived) sink pulls exactly the sites whose
+        call-name tail matches it, and newly derived sinks enqueue their
+        own tail.
         """
 
+        graph = project.graph()
         derived = _SinkTable()
         derived.params.update(sinks.params)
         derived.nodes.update(sinks.nodes)
         flagged: Set[Tuple[str, int, str]] = set()
-        changed = True
-        while changed:
-            changed = False
-            for module in project.targets:
-                for qual, func in iter_functions(module.tree):
-                    own_params = set(_param_names(func))
-                    for node in ast.walk(func):
-                        if not isinstance(node, ast.Call):
-                            continue
-                        match = derived.by_tail(call_name(node))
-                        if match is None:
-                            continue
-                        _, sink_qual, sink_param = match
-                        args = self._args_for_param(node, sink_param)
-                        for arg in args:
-                            hit = _literal_strings(arg) & engine_kwargs
-                            if hit:
-                                key = (module.rel, node.lineno, sink_qual)
-                                if key not in flagged:
-                                    flagged.add(key)
-                                    yield self.finding(
-                                        module, node,
-                                        "engine kwarg "
-                                        f"{sorted(hit)!r} passed into "
-                                        f"identity sink {sink_qual}(); "
-                                        "cache keys must not fork on "
-                                        "engine options",
-                                    )
-                            forwarded = {
-                                n.id
-                                for n in ast.walk(arg)
-                                if isinstance(n, ast.Name)
-                            } & own_params
-                            if forwarded and (module.rel, qual) not in derived.params:
-                                derived.add(
-                                    module.rel, qual, sorted(forwarded)[0], func
-                                )
-                                changed = True
+        worklist = [qual.split(".")[-1] for (_, qual) in derived.params]
+        processed: Set[str] = set()
+        while worklist:
+            tail = worklist.pop(0)
+            if tail in processed:
+                continue
+            processed.add(tail)
+            for rel, caller_qual, site in graph.calls_by_tail(tail):
+                match = derived.by_tail(site.name)
+                if match is None:
+                    continue
+                index = graph.modules[rel]
+                module = index.module
+                func = index.functions.get(caller_qual)
+                own_params = (
+                    set(_param_names(func)) if func is not None else set()
+                )
+                _, sink_qual, sink_param = match
+                node = site.node
+                for arg in self._args_for_param(node, sink_param):
+                    hit = _literal_strings(arg) & engine_kwargs
+                    if hit:
+                        key = (rel, node.lineno, sink_qual)
+                        if key not in flagged:
+                            flagged.add(key)
+                            yield self.finding(
+                                module, node,
+                                "engine kwarg "
+                                f"{sorted(hit)!r} passed into "
+                                f"identity sink {sink_qual}(); "
+                                "cache keys must not fork on "
+                                "engine options",
+                            )
+                    forwarded = {
+                        n.id
+                        for n in ast.walk(arg)
+                        if isinstance(n, ast.Name)
+                    } & own_params
+                    if (
+                        forwarded
+                        and func is not None
+                        and (rel, caller_qual) not in derived.params
+                    ):
+                        derived.add(
+                            rel, caller_qual, sorted(forwarded)[0], func
+                        )
+                        new_tail = caller_qual.split(".")[-1]
+                        processed.discard(new_tail)
+                        worklist.append(new_tail)
         return
 
     @staticmethod

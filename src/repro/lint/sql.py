@@ -1,0 +1,785 @@
+"""The sql-schema checker: every SQL string matches the declared DDL.
+
+The experiment store denormalizes cell identity into indexed columns and
+queries them all over ``store/`` (including ``legacy.py`` and the
+``__main__`` CLI).  A schema edit that renames a column or drops a table
+currently fails at *runtime* -- an ``OperationalError`` in whatever code
+path first touches the orphaned query, possibly deep in a fleet run.
+This checker makes schema drift a lint failure instead:
+
+1. The declared schema is read from the AST of ``store/schema.py`` (the
+   ``_DDL`` literal), exactly as the purity checker reads
+   ``ENGINE_KWARGS`` -- the linter must be able to judge a tree too
+   broken to import.
+2. Every ``execute``/``executemany``/``executescript`` call in
+   ``store/`` modules has its SQL extracted: constant strings,
+   f-strings (dynamic fragments become *holes*), ``+``-concatenations,
+   and locals assembled with ``sql = ...; sql += ...``.
+3. A small stdlib-only SQL tokenizer/analyzer resolves table and column
+   references (FROM/JOIN aliases, ``excluded.*`` upsert refs,
+   subqueries go *opaque* rather than guessed at) and placeholder
+   arity (``?`` count vs. a literal params tuple; INSERT column list
+   vs. VALUES item count).
+
+Anything dynamic degrades soundly to "not checked": a hole in the FROM
+clause makes the statement's unqualified columns unverifiable, a
+non-literal params argument skips arity -- but the common case (constant
+SQL, literal tuple) is verified exactly, and the checked surface covers
+every statement the store actually runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .framework import (
+    Checker,
+    Finding,
+    Module,
+    Project,
+    dotted_name,
+    register_checker,
+)
+from .transactions import _own_nodes
+
+__all__ = ["SqlSchemaChecker"]
+
+#: repo-relative module declaring the schema (the ``_DDL`` literal)
+SCHEMA_HOME = "src/repro/store/schema.py"
+
+#: hole marker for dynamic SQL fragments (f-string fields, .join() parts)
+HOLE = "\x00"
+
+#: tables SQLite provides without DDL
+_BUILTIN_TABLES = frozenset({"sqlite_master", "sqlite_schema", "sqlite_sequence"})
+
+#: columns every rowid table has implicitly
+_IMPLICIT_COLUMNS = frozenset({"rowid", "oid", "_rowid_"})
+
+_KEYWORDS = frozenset(
+    """
+    select from where and or not null is in like between exists order
+    group by having limit offset as distinct all join left right full
+    inner outer cross on using insert into values update set delete
+    replace create table index if drop alter add column primary key
+    unique references foreign check constraint default autoincrement
+    cascade restrict collate asc desc conflict do nothing begin
+    immediate deferred exclusive transaction commit rollback end pragma
+    vacuum analyze explain case when then else cast union except
+    intersect integer text real blob numeric coalesce ifnull glob
+    """.split()
+)
+
+#: statement verbs the checker analyzes (everything else is skipped)
+_CHECKED_VERBS = frozenset({"SELECT", "INSERT", "UPDATE", "DELETE", "REPLACE"})
+
+
+# ---------------------------------------------------------------------------
+# tokenizer
+# ---------------------------------------------------------------------------
+
+class _Tok:
+    __slots__ = ("kind", "text")
+
+    def __init__(self, kind: str, text: str) -> None:
+        self.kind = kind  # ident | kw | num | str | qmark | named | hole | punct
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}:{self.text}"
+
+
+def _tokenize(sql: str) -> List[_Tok]:
+    out: List[_Tok] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+        elif ch == HOLE:
+            out.append(_Tok("hole", HOLE))
+            i += 1
+        elif ch == "-" and sql[i : i + 2] == "--":
+            j = sql.find("\n", i)
+            i = n if j < 0 else j + 1
+        elif ch == "'":
+            j = i + 1
+            while j < n:
+                if sql[j] == "'" and sql[j : j + 2] != "''":
+                    break
+                j += 2 if sql[j] == "'" else 1
+            out.append(_Tok("str", sql[i : j + 1]))
+            i = j + 1
+        elif ch == '"':
+            j = sql.find('"', i + 1)
+            j = n if j < 0 else j
+            out.append(_Tok("ident", sql[i + 1 : j]))
+            i = j + 1
+        elif ch == "?":
+            out.append(_Tok("qmark", "?"))
+            i = 1 + i
+        elif ch == ":" and i + 1 < n and (sql[i + 1].isalpha() or sql[i + 1] == "_"):
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            out.append(_Tok("named", sql[i:j]))
+            i = j
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            kind = "kw" if word.lower() in _KEYWORDS else "ident"
+            out.append(_Tok(kind, word))
+            i = j
+        elif ch.isdigit():
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] in "._"):
+                j += 1
+            out.append(_Tok("num", sql[i:j]))
+            i = j
+        else:
+            out.append(_Tok("punct", ch))
+            i += 1
+    return out
+
+
+def _split_statements(tokens: List[_Tok]) -> List[List[_Tok]]:
+    out: List[List[_Tok]] = []
+    cur: List[_Tok] = []
+    for tok in tokens:
+        if tok.kind == "punct" and tok.text == ";":
+            if cur:
+                out.append(cur)
+                cur = []
+        else:
+            cur.append(tok)
+    if cur:
+        out.append(cur)
+    return out
+
+
+def _is_kw(tok: Optional[_Tok], word: str) -> bool:
+    return tok is not None and tok.kind == "kw" and tok.text.lower() == word
+
+
+# ---------------------------------------------------------------------------
+# declared schema
+# ---------------------------------------------------------------------------
+
+def parse_ddl(ddl: str) -> Dict[str, Set[str]]:
+    """``CREATE TABLE`` statements -> {table: {column, ...}}."""
+
+    schema: Dict[str, Set[str]] = {}
+    for stmt in _split_statements(_tokenize(ddl)):
+        if not stmt or not _is_kw(stmt[0], "create"):
+            continue
+        i = 1
+        if i < len(stmt) and _is_kw(stmt[i], "table"):
+            i += 1
+            while i < len(stmt) and stmt[i].kind == "kw" and stmt[i].text.lower() in (
+                "if", "not", "exists"
+            ):
+                i += 1
+            if i >= len(stmt):
+                continue
+            table = stmt[i].text
+            i += 1
+            if i >= len(stmt) or stmt[i].text != "(":
+                continue
+            cols: Set[str] = set()
+            depth = 0
+            expect_col = True
+            for tok in stmt[i:]:
+                if tok.kind == "punct" and tok.text == "(":
+                    depth += 1
+                    continue
+                if tok.kind == "punct" and tok.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                    continue
+                if depth == 1 and tok.kind == "punct" and tok.text == ",":
+                    expect_col = True
+                    continue
+                if depth == 1 and expect_col:
+                    expect_col = False
+                    if tok.text.lower() in (
+                        "primary", "unique", "foreign", "check", "constraint"
+                    ):
+                        continue
+                    if tok.kind in ("ident", "kw"):
+                        cols.add(tok.text)
+            schema[table] = cols
+    return schema
+
+
+# ---------------------------------------------------------------------------
+# statement analysis
+# ---------------------------------------------------------------------------
+
+class _Issue:
+    __slots__ = ("message",)
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+
+class _Scope:
+    """One SELECT/UPDATE/DELETE scope: its sources and column refs."""
+
+    def __init__(self) -> None:
+        self.tables: Dict[str, Optional[str]] = {}  # alias/name -> table | None
+        self.cols: List[Tuple[Optional[str], str]] = []  # (qualifier, column)
+        self.opaque = False  # a hole or subquery feeds this scope
+
+
+class _Analyzer:
+    def __init__(self, schema: Dict[str, Set[str]]) -> None:
+        self.schema = schema
+        self.issues: List[_Issue] = []
+        self.placeholders = 0
+
+    # -- public ----------------------------------------------------------
+    def analyze(self, tokens: List[_Tok]) -> None:
+        if not tokens:
+            return
+        self.placeholders += sum(
+            1 for t in tokens if t.kind in ("qmark", "named")
+        )
+        head = tokens[0]
+        verb = head.text.upper() if head.kind == "kw" else ""
+        if verb not in _CHECKED_VERBS:
+            return
+        if verb == "SELECT":
+            self._select(tokens, 0)
+        elif verb in ("INSERT", "REPLACE"):
+            self._insert(tokens)
+        elif verb == "UPDATE":
+            self._update(tokens)
+        elif verb == "DELETE":
+            self._delete(tokens)
+
+    # -- helpers ---------------------------------------------------------
+    def _check_table(self, name: str) -> None:
+        if name not in self.schema and name not in _BUILTIN_TABLES:
+            self.issues.append(
+                _Issue(f"unknown table {name!r} (not in store/schema.py DDL)")
+            )
+
+    def _finish_scope(self, scope: _Scope) -> None:
+        known: List[str] = []
+        for alias, table in scope.tables.items():
+            if table is None:
+                continue
+            self._check_table(table)
+            if table in self.schema:
+                known.append(table)
+        any_unknown = any(
+            t is not None and t not in self.schema and t not in _BUILTIN_TABLES
+            for t in scope.tables.values()
+        )
+        for qualifier, col in scope.cols:
+            if qualifier is not None:
+                table = scope.tables.get(qualifier)
+                if table is None or table not in self.schema:
+                    continue
+                if col not in self.schema[table] and col not in _IMPLICIT_COLUMNS:
+                    self.issues.append(
+                        _Issue(
+                            f"unknown column {qualifier}.{col} "
+                            f"(table {table!r} has no {col!r})"
+                        )
+                    )
+            else:
+                if scope.opaque or any_unknown or not known:
+                    continue
+                if not any(
+                    col in self.schema[t] for t in known
+                ) and col not in _IMPLICIT_COLUMNS:
+                    where = " or ".join(repr(t) for t in sorted(set(known)))
+                    self.issues.append(
+                        _Issue(f"unknown column {col!r} (not in {where})")
+                    )
+
+    def _collect_cols(
+        self, tokens: List[_Tok], i: int, scope: _Scope, stops: Set[str]
+    ) -> int:
+        """Scan a column-bearing clause until a stop keyword at depth 0."""
+
+        depth = 0
+        while i < len(tokens):
+            tok = tokens[i]
+            if tok.kind == "punct" and tok.text == "(":
+                # subquery inside a condition: recurse, stay opaque here
+                if i + 1 < len(tokens) and _is_kw(tokens[i + 1], "select"):
+                    i = self._select(tokens, i + 1)
+                    continue
+                depth += 1
+            elif tok.kind == "punct" and tok.text == ")":
+                if depth == 0:
+                    return i
+                depth -= 1
+            elif tok.kind == "hole":
+                pass
+            elif tok.kind == "kw":
+                if depth == 0 and tok.text.lower() in stops:
+                    return i
+                if _is_kw(tok, "as") and i + 1 < len(tokens):
+                    i += 2  # output alias, not a column
+                    continue
+            elif tok.kind == "ident":
+                nxt = tokens[i + 1] if i + 1 < len(tokens) else None
+                if nxt is not None and nxt.kind == "punct" and nxt.text == "(":
+                    i += 1  # function name
+                    continue
+                if nxt is not None and nxt.kind == "punct" and nxt.text == ".":
+                    after = tokens[i + 2] if i + 2 < len(tokens) else None
+                    if after is not None and after.kind in ("ident", "kw"):
+                        scope.cols.append((tok.text, after.text))
+                        i += 3
+                        continue
+                    i += 3  # qualified star (r.*) or dangling dot
+                    continue
+                scope.cols.append((None, tok.text))
+            i += 1
+        return i
+
+    def _parse_sources(
+        self, tokens: List[_Tok], i: int, scope: _Scope
+    ) -> int:
+        """FROM/JOIN clause: table names and aliases, until WHERE/etc."""
+
+        stops = {
+            "where", "group", "order", "limit", "having", "union",
+            "except", "intersect", "offset",
+        }
+        pending_alias_for: Optional[str] = None
+        while i < len(tokens):
+            tok = tokens[i]
+            if tok.kind == "punct" and tok.text == "(":
+                if i + 1 < len(tokens) and _is_kw(tokens[i + 1], "select"):
+                    i = self._select(tokens, i + 1)
+                    scope.opaque = True
+                    pending_alias_for = None
+                    # optional alias after the subquery
+                    if i < len(tokens) and tokens[i].kind == "punct" and tokens[i].text == ")":
+                        i += 1
+                    if i < len(tokens) and _is_kw(tokens[i], "as"):
+                        i += 1
+                    if i < len(tokens) and tokens[i].kind == "ident":
+                        scope.tables[tokens[i].text] = None
+                        i += 1
+                    continue
+                i += 1
+                continue
+            if tok.kind == "punct" and tok.text == ")":
+                return i
+            if tok.kind == "hole":
+                scope.opaque = True
+                i += 1
+                continue
+            if tok.kind == "kw":
+                low = tok.text.lower()
+                if low in stops:
+                    return i
+                if low == "on":
+                    i = self._collect_cols(
+                        tokens, i + 1,
+                        scope,
+                        stops | {"join", "left", "right", "inner", "outer",
+                                 "cross", "full"},
+                    )
+                    continue
+                if low == "as":
+                    i += 1
+                    if i < len(tokens) and tokens[i].kind == "ident" and (
+                        pending_alias_for is not None
+                    ):
+                        scope.tables[tokens[i].text] = pending_alias_for
+                        pending_alias_for = None
+                        i += 1
+                    continue
+                i += 1  # JOIN/LEFT/USING/... connective
+                continue
+            if tok.kind == "ident":
+                if pending_alias_for is not None:
+                    scope.tables[tok.text] = pending_alias_for
+                    pending_alias_for = None
+                else:
+                    scope.tables[tok.text] = tok.text
+                    pending_alias_for = tok.text
+                i += 1
+                continue
+            if tok.kind == "punct" and tok.text == ",":
+                pending_alias_for = None
+            i += 1
+        return i
+
+    # -- statements ------------------------------------------------------
+    def _select(self, tokens: List[_Tok], i: int) -> int:
+        """Parse from the SELECT keyword at ``tokens[i]``; returns the
+        index just past this scope (its closing ``)`` or end)."""
+
+        scope = _Scope()
+        i = self._collect_cols(tokens, i + 1, scope, {"from"})
+        while i < len(tokens):
+            tok = tokens[i]
+            if tok.kind == "punct" and tok.text == ")":
+                break
+            if _is_kw(tok, "from"):
+                i = self._parse_sources(tokens, i + 1, scope)
+                continue
+            if tok.kind == "kw" and tok.text.lower() in (
+                "where", "group", "order", "having", "on",
+            ):
+                skip = 1
+                if tok.text.lower() in ("group", "order") and _is_kw(
+                    tokens[i + 1] if i + 1 < len(tokens) else None, "by"
+                ):
+                    skip = 2
+                i = self._collect_cols(
+                    tokens, i + skip, scope,
+                    {"where", "group", "order", "having", "limit",
+                     "offset", "union", "except", "intersect"},
+                )
+                continue
+            if tok.kind == "kw" and tok.text.lower() in (
+                "union", "except", "intersect",
+            ):
+                self._finish_scope(scope)
+                scope = _Scope()
+                while i < len(tokens) and not _is_kw(tokens[i], "select"):
+                    i += 1
+                i = self._collect_cols(tokens, i + 1, scope, {"from"})
+                continue
+            i += 1
+        self._finish_scope(scope)
+        return i
+
+    def _insert(self, tokens: List[_Tok]) -> None:
+        i = 1
+        while i < len(tokens) and not _is_kw(tokens[i], "into"):
+            i += 1
+        i += 1
+        if i >= len(tokens):
+            return
+        if tokens[i].kind == "hole":
+            return
+        if tokens[i].kind not in ("ident", "kw"):
+            return
+        table = tokens[i].text
+        self._check_table(table)
+        i += 1
+        cols: List[str] = []
+        cols_hole = False
+        if i < len(tokens) and tokens[i].kind == "punct" and tokens[i].text == "(":
+            depth = 1
+            i += 1
+            while i < len(tokens) and depth:
+                tok = tokens[i]
+                if tok.kind == "punct" and tok.text == "(":
+                    depth += 1
+                elif tok.kind == "punct" and tok.text == ")":
+                    depth -= 1
+                elif tok.kind == "hole":
+                    cols_hole = True
+                elif depth == 1 and tok.kind in ("ident", "kw"):
+                    cols.append(tok.text)
+                i += 1
+        if table in self.schema and not cols_hole:
+            for col in cols:
+                if col not in self.schema[table]:
+                    self.issues.append(
+                        _Issue(
+                            f"unknown column {col!r} in INSERT INTO {table} "
+                            f"(not in its DDL)"
+                        )
+                    )
+        # VALUES item arity vs the column list
+        while i < len(tokens) and not _is_kw(tokens[i], "values"):
+            if _is_kw(tokens[i], "select"):
+                self._select(tokens, i)
+                break
+            i += 1
+        if i < len(tokens) and _is_kw(tokens[i], "values"):
+            i += 1
+            if i < len(tokens) and tokens[i].text == "(":
+                depth, items, empty, values_hole = 1, 1, True, False
+                i += 1
+                while i < len(tokens) and depth:
+                    tok = tokens[i]
+                    if tok.kind == "punct" and tok.text == "(":
+                        depth += 1
+                    elif tok.kind == "punct" and tok.text == ")":
+                        depth -= 1
+                    elif tok.kind == "hole":
+                        values_hole = True
+                    elif depth == 1 and tok.kind == "punct" and tok.text == ",":
+                        items += 1
+                    else:
+                        empty = False
+                    i += 1
+                if empty:
+                    items = 0
+                if cols and not cols_hole and not values_hole and items != len(cols):
+                    self.issues.append(
+                        _Issue(
+                            f"INSERT INTO {table} lists {len(cols)} column(s) "
+                            f"but VALUES has {items} item(s)"
+                        )
+                    )
+        # upsert tail: ON CONFLICT (cols) DO UPDATE SET col = excluded.col
+        scope = _Scope()
+        scope.tables[table] = table
+        scope.tables["excluded"] = table
+        while i < len(tokens):
+            tok = tokens[i]
+            if tok.kind == "kw" and tok.text.lower() in ("conflict", "set", "where"):
+                i = self._collect_cols(
+                    tokens, i + 1, scope, {"do", "set", "where"}
+                )
+                continue
+            i += 1
+        self._finish_scope(scope)
+
+    def _update(self, tokens: List[_Tok]) -> None:
+        i = 1
+        while i < len(tokens) and tokens[i].kind == "kw" and tokens[i].text.lower() in (
+            "or", "rollback", "abort", "replace", "ignore", "fail",
+        ):
+            i += 1
+        if i >= len(tokens) or tokens[i].kind == "hole":
+            return
+        if tokens[i].kind not in ("ident", "kw"):
+            return
+        table = tokens[i].text
+        self._check_table(table)
+        scope = _Scope()
+        scope.tables[table] = table
+        i = self._collect_cols(tokens, i + 1, scope, set())
+        self._finish_scope(scope)
+
+    def _delete(self, tokens: List[_Tok]) -> None:
+        i = 1
+        if i < len(tokens) and _is_kw(tokens[i], "from"):
+            i += 1
+        if i >= len(tokens) or tokens[i].kind == "hole":
+            return
+        if tokens[i].kind not in ("ident", "kw"):
+            return
+        table = tokens[i].text
+        self._check_table(table)
+        scope = _Scope()
+        scope.tables[table] = table
+        i = self._collect_cols(tokens, i + 1, scope, set())
+        self._finish_scope(scope)
+
+
+# ---------------------------------------------------------------------------
+# AST-side extraction
+# ---------------------------------------------------------------------------
+
+def _fold(node: ast.AST, assigns: Dict[str, str]) -> Optional[str]:
+    """Best-effort constant fold of a SQL expression; dynamic -> HOLE."""
+
+    if isinstance(node, ast.Constant):
+        return node.value if isinstance(node.value, str) else HOLE
+    if isinstance(node, ast.JoinedStr):
+        parts = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                parts.append(HOLE)
+        return "".join(parts)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+        left = _fold(node.left, assigns)
+        right = _fold(node.right, assigns)
+        if left is None and right is None:
+            return None
+        return (left or HOLE) + (right or HOLE)
+    if isinstance(node, ast.Name) and node.id in assigns:
+        return assigns[node.id]
+    if isinstance(node, (ast.Call, ast.IfExp, ast.Subscript, ast.Attribute)):
+        return HOLE
+    return None
+
+
+def _local_sql_assigns(func: ast.AST, before_line: int) -> Dict[str, str]:
+    """Fold ``sql = ...`` / ``sql += ...`` chains lexically before a call."""
+
+    stmts: List[Tuple[int, str, ast.AST, bool]] = []
+    for node in _own_nodes(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
+            node.targets[0], ast.Name
+        ):
+            stmts.append((node.lineno, node.targets[0].id, node.value, False))
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.op, ast.Add
+        ) and isinstance(node.target, ast.Name):
+            stmts.append((node.lineno, node.target.id, node.value, True))
+    assigns: Dict[str, str] = {}
+    for lineno, name, value, aug in sorted(stmts, key=lambda s: s[0]):
+        if lineno >= before_line:
+            break
+        folded = _fold(value, assigns)
+        if folded is None:
+            assigns.pop(name, None)
+            continue
+        if aug and name in assigns:
+            assigns[name] = assigns[name] + folded
+        elif not aug:
+            assigns[name] = folded
+        else:
+            assigns.pop(name, None)
+    return assigns
+
+
+def _literal_len(node: ast.AST) -> Optional[int]:
+    if isinstance(node, (ast.Tuple, ast.List)):
+        if any(isinstance(e, ast.Starred) for e in node.elts):
+            return None
+        return len(node.elts)
+    return None
+
+
+@register_checker("sql-schema", synonyms=("sql", "schema-drift"))
+class SqlSchemaChecker(Checker):
+    """Proves every executed SQL string matches the declared schema."""
+
+    description = (
+        "SQL executed in store/ must reference only tables/columns "
+        "declared in store/schema.py, with matching placeholder arity"
+    )
+    hint = (
+        "update the query to match store/schema.py (or bump the DDL and "
+        "SCHEMA_VERSION together)"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        schema = self._load_schema(project)
+        if schema is None:
+            return
+        graph = project.graph()
+        for module in project.targets:
+            if "store" not in module.rel.split("/"):
+                continue
+            index = graph.modules.get(module.rel)
+            if index is None:
+                continue
+            module_assigns = self._module_assigns(module)
+            for qual, func in index.functions.items():
+                yield from self._check_body(
+                    schema, module, func, module_assigns
+                )
+            # statements run at import time (e.g. CLI glue at module scope)
+            yield from self._check_body(
+                schema, module, module.tree, module_assigns
+            )
+
+    # ------------------------------------------------------------------
+    def _load_schema(self, project: Project) -> Optional[Dict[str, Set[str]]]:
+        module = project.context_module(SCHEMA_HOME)
+        if module is None:
+            return None
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Name) and t.id == "_DDL"
+                    for t in node.targets
+                )
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)
+            ):
+                schema = parse_ddl(node.value.value)
+                if schema:
+                    return schema
+        return None
+
+    @staticmethod
+    def _module_assigns(module: Module) -> Dict[str, str]:
+        assigns: Dict[str, str] = {}
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and (
+                isinstance(stmt.targets[0], ast.Name)
+            ):
+                folded = _fold(stmt.value, assigns)
+                if folded is not None:
+                    assigns[stmt.targets[0].id] = folded
+        return assigns
+
+    def _check_body(
+        self,
+        schema: Dict[str, Set[str]],
+        module: Module,
+        func: ast.AST,
+        module_assigns: Dict[str, str],
+    ) -> Iterator[Finding]:
+        for node in _own_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            method = dotted_name(node.func).split(".")[-1]
+            if method not in ("execute", "executemany", "executescript"):
+                continue
+            if not node.args:
+                continue
+            sql = self._sql_text(node.args[0], func, node, module_assigns)
+            if sql is None:
+                continue
+            analyzer = _Analyzer(schema)
+            for stmt in _split_statements(_tokenize(sql)):
+                analyzer.analyze(stmt)
+            for issue in analyzer.issues:
+                yield self.finding(module, node, issue.message)
+            yield from self._check_arity(
+                module, node, method, sql, analyzer.placeholders
+            )
+
+    def _sql_text(
+        self,
+        arg: ast.AST,
+        func: ast.AST,
+        call: ast.Call,
+        module_assigns: Dict[str, str],
+    ) -> Optional[str]:
+        if isinstance(arg, ast.Name):
+            assigns = dict(module_assigns)
+            assigns.update(_local_sql_assigns(func, call.lineno))
+            return assigns.get(arg.id)
+        folded = _fold(arg, module_assigns)
+        if folded == HOLE:
+            return None  # nothing constant to check
+        return folded
+
+    def _check_arity(
+        self,
+        module: Module,
+        node: ast.Call,
+        method: str,
+        sql: str,
+        placeholders: int,
+    ) -> Iterator[Finding]:
+        if HOLE in sql or len(node.args) < 2:
+            return
+        params = node.args[1]
+        if method == "executemany":
+            if isinstance(params, (ast.Tuple, ast.List)):
+                for row in params.elts:
+                    got = _literal_len(row)
+                    if got is not None and got != placeholders:
+                        yield self.finding(
+                            module, node,
+                            f"SQL has {placeholders} placeholder(s) but an "
+                            f"executemany row passes {got}",
+                        )
+            return
+        got = _literal_len(params)
+        if got is not None and got != placeholders:
+            yield self.finding(
+                module, node,
+                f"SQL has {placeholders} placeholder(s) but the call "
+                f"passes {got} parameter(s)",
+            )

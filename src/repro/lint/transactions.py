@@ -1,0 +1,611 @@
+"""The transaction-discipline checker: every BEGIN commits or rolls back.
+
+The experiment store's merge-conflict detection and crash-durability
+arguments (PR 8) assume explicit transactions: a ``BEGIN IMMEDIATE``
+that is not closed on *every* path -- the normal path and every raising
+path -- leaves the database write-locked until the connection dies, and
+a bare write outside any transaction silently runs in autocommit where
+a multi-statement invariant (delete-then-reinsert of metrics rows, say)
+can tear under a crash.  Until now this held by code review; the chaos
+suite only samples crash points.
+
+Two rules, CFG-walked over try/except/finally/with:
+
+1. **Closure on every path** -- for each ``execute("BEGIN ...")``:
+
+   * inside a context-manager helper class (``__enter__`` holds the
+     BEGIN), the class's ``__exit__`` must contain both a ``commit`` and
+     a ``rollback`` (the success and failure arms);
+   * otherwise the code following the BEGIN must reach a
+     ``commit``/``rollback`` on its normal path (no ``return`` or
+     fall-off-the-end before closing), and a ``finally`` or a broad
+     ``except`` that closes the transaction must guard the raising path.
+
+2. **No raw writes outside a transaction helper** -- an
+   ``execute``/``executemany`` whose SQL starts with
+   INSERT/UPDATE/DELETE/REPLACE must run on a connection that is
+   provably inside a transaction: bound by ``with <tx-helper>() as
+   conn``, lexically after a BEGIN on the same receiver, inside a
+   helper-class method, or received as a parameter whose every call
+   site (via the shared call graph) passes a transaction-scoped
+   connection.  SELECT/PRAGMA/VACUUM/DDL are exempt (VACUUM *cannot*
+   run inside a transaction; schema bootstrap runs in autocommit by
+   design).
+
+Transaction helpers are recognized *structurally*, not by name: a class
+whose ``__enter__`` executes a BEGIN, and any function returning an
+instance of one (``ExperimentStore._tx``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .framework import (
+    Checker,
+    Finding,
+    Module,
+    Project,
+    dotted_name,
+    register_checker,
+)
+from .graph import ProjectGraph
+
+__all__ = ["TransactionChecker"]
+
+#: SQL verbs that mutate rows (DDL and VACUUM are deliberately exempt)
+_WRITE_VERBS = frozenset({"INSERT", "UPDATE", "DELETE", "REPLACE"})
+
+# block outcomes for the normal-path walk
+_CLOSED = "closed"  # commit/rollback reached
+_OPEN = "open"  # fell through without closing
+_RETURN = "return"  # escaped via return before closing
+_RAISE = "raise"  # diverted to the raising path (rule 1b covers it)
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs/classes
+    (those are visited as functions in their own right)."""
+
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _sql_of(call: ast.Call) -> Optional[str]:
+    """The constant SQL string of an execute-style call, if constant."""
+
+    if call.args and isinstance(call.args[0], ast.Constant) and isinstance(
+        call.args[0].value, str
+    ):
+        return call.args[0].value
+    return None
+
+
+def _sql_verb(sql: str) -> str:
+    stripped = sql.lstrip().lstrip("(")
+    first = stripped.split(None, 1)[0] if stripped.split() else ""
+    return first.upper().rstrip(";")
+
+
+def _is_execute(call: ast.Call) -> bool:
+    name = dotted_name(call.func)
+    return name.split(".")[-1] in ("execute", "executemany", "executescript")
+
+
+def _is_begin(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _is_execute(node)
+        and (_sql_of(node) or "").lstrip().upper().startswith("BEGIN")
+    )
+
+
+def _closes(node: ast.AST) -> bool:
+    """Does this expression commit or roll back a transaction?"""
+
+    for n in ast.walk(node):
+        if not isinstance(n, ast.Call):
+            continue
+        tail = dotted_name(n.func).split(".")[-1]
+        if tail in ("commit", "rollback"):
+            return True
+        if _is_execute(n):
+            verb = _sql_verb(_sql_of(n) or "")
+            if verb in ("COMMIT", "ROLLBACK", "END"):
+                return True
+    return False
+
+
+def _receiver(call: ast.Call) -> str:
+    """``conn.execute(...)`` -> ``conn``; ``self._conn.execute`` -> ``self._conn``."""
+
+    name = dotted_name(call.func)
+    return name.rsplit(".", 1)[0] if "." in name else ""
+
+
+class _FuncInfo:
+    """Per-function facts rule 2 needs: tx-scoped names, BEGIN lines."""
+
+    def __init__(self) -> None:
+        self.tx_names: Set[str] = set()  # bound by `with tx() as name`
+        self.begin_lines: Dict[str, int] = {}  # receiver -> first BEGIN line
+        self.params: Set[str] = set()
+
+
+@register_checker("transaction-discipline", synonyms=("transactions", "tx"))
+class TransactionChecker(Checker):
+    """Proves explicit transactions close on every path and writes stay
+    inside them."""
+
+    description = (
+        "every BEGIN IMMEDIATE reaches commit() or rollback() on every "
+        "non-raising and raising path, and no raw execute() writes run "
+        "outside a transaction helper"
+    )
+    hint = (
+        "wrap writes in the store's transaction helper (`with self._tx() "
+        "as conn:`) and close every BEGIN in a finally/except"
+    )
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        graph = project.graph()
+        helper_classes = self._helper_classes(graph)
+        tx_providers = self._tx_providers(graph, helper_classes)
+        for module in project.targets:
+            index = graph.modules.get(module.rel)
+            if index is None:
+                continue
+            yield from self._check_begins(module, index, helper_classes)
+            yield from self._check_raw_writes(
+                graph, module, index, helper_classes, tx_providers
+            )
+
+    # -- helper recognition ------------------------------------------------
+    def _helper_classes(self, graph: ProjectGraph) -> Set[Tuple[str, str]]:
+        """(rel, class qual) of context managers whose __enter__ BEGINs."""
+
+        out: Set[Tuple[str, str]] = set()
+        for rel in sorted(graph.modules):
+            index = graph.modules[rel]
+            for qual in index.classes:
+                enter = index.functions.get(f"{qual}.__enter__")
+                if enter is None:
+                    continue
+                if any(_is_begin(n) for n in _own_nodes(enter)):
+                    out.add((rel, qual))
+        return out
+
+    def _tx_providers(
+        self, graph: ProjectGraph, helper_classes: Set[Tuple[str, str]]
+    ) -> Set[Tuple[str, str]]:
+        """(rel, func qual) of functions yielding/returning a transaction.
+
+        A function whose ``return`` constructs a helper class, or a
+        generator (``@contextmanager`` style) that itself BEGINs.
+        """
+
+        out: Set[Tuple[str, str]] = set()
+        for rel in sorted(graph.modules):
+            index = graph.modules[rel]
+            for qual, func in index.functions.items():
+                for node in _own_nodes(func):
+                    if isinstance(node, ast.Return) and isinstance(
+                        node.value, ast.Call
+                    ):
+                        refs = graph.resolve_call(
+                            rel, qual, dotted_name(node.value.func)
+                        )
+                        for ref in refs:
+                            cls = (
+                                ref.qual.rsplit(".", 1)[0]
+                                if "." in ref.qual
+                                else ref.qual
+                            )
+                            if (ref.rel, cls) in helper_classes:
+                                out.add((rel, qual))
+                if any(_is_begin(n) for n in _own_nodes(func)) and any(
+                    isinstance(n, (ast.Yield, ast.YieldFrom))
+                    for n in _own_nodes(func)
+                ):
+                    out.add((rel, qual))
+        return out
+
+    # -- rule 1: BEGIN closes on every path --------------------------------
+    def _check_begins(
+        self,
+        module: Module,
+        index,
+        helper_classes: Set[Tuple[str, str]],
+    ) -> Iterator[Finding]:
+        for qual, func in index.functions.items():
+            begins = sorted(
+                (
+                    n
+                    for n in _own_nodes(func)
+                    if isinstance(n, (ast.Expr, ast.Assign))
+                    and _is_begin(n.value)
+                ),
+                key=lambda n: n.lineno,
+            )
+            if not begins:
+                continue
+            if qual.endswith(".__enter__"):
+                cls = qual.rsplit(".", 1)[0]
+                yield from self._check_helper_class(
+                    module, index, cls, begins[0]
+                )
+                continue
+            for begin in begins:
+                yield from self._check_begin_paths(module, func, begin)
+
+    def _check_helper_class(
+        self, module: Module, index, cls: str, begin: ast.stmt
+    ) -> Iterator[Finding]:
+        exit_func = index.functions.get(f"{cls}.__exit__")
+        if exit_func is None:
+            yield self.finding(
+                module, begin,
+                f"BEGIN in {cls}.__enter__() but {cls} has no __exit__ "
+                "to commit or roll back",
+            )
+            return
+        has_commit = has_rollback = False
+        for n in ast.walk(exit_func):
+            if not isinstance(n, ast.Call):
+                continue
+            tail = dotted_name(n.func).split(".")[-1]
+            sql = _sql_verb(_sql_of(n) or "") if _is_execute(n) else ""
+            if tail == "commit" or sql == "COMMIT":
+                has_commit = True
+            if tail == "rollback" or sql == "ROLLBACK":
+                has_rollback = True
+        if not has_commit or not has_rollback:
+            missing = "commit" if not has_commit else "rollback"
+            yield self.finding(
+                module, begin,
+                f"BEGIN in {cls}.__enter__() but {cls}.__exit__() never "
+                f"calls {missing}(); the "
+                f"{'success' if missing == 'commit' else 'failure'} arm "
+                "leaves the transaction open",
+            )
+
+    def _check_begin_paths(
+        self, module: Module, func: ast.AST, begin: ast.stmt
+    ) -> Iterator[Finding]:
+        chain = self._block_chain(func, begin)
+        if chain is None:
+            return
+        # normal path: the statements after the BEGIN, walking outward;
+        # raising path: any enclosing *or trailing* try whose finally /
+        # broad handler closes the transaction
+        outcome = _OPEN
+        guarded = False
+        for block, idx, owner in chain:
+            trailing = block[idx + 1 :]
+            if outcome == _OPEN:
+                outcome = self._block_outcome(trailing)
+            for stmt in trailing:
+                if isinstance(stmt, ast.Try) and self._try_guards(stmt):
+                    guarded = True
+            if isinstance(owner, ast.Try):
+                if self._try_guards(owner):
+                    guarded = True
+                if owner.finalbody and any(
+                    _closes(s) for s in owner.finalbody
+                ) and outcome == _OPEN:
+                    outcome = _CLOSED
+        if outcome in (_OPEN, _RETURN):
+            how = (
+                "falls off the end"
+                if outcome == _OPEN
+                else "returns"
+            )
+            yield self.finding(
+                module, begin,
+                f"BEGIN {how} without commit() or rollback() on the "
+                "non-raising path",
+            )
+        if not guarded:
+            yield self.finding(
+                module, begin,
+                "no finally/except closes this BEGIN on the raising "
+                "path; an exception leaves the database write-locked",
+            )
+
+    def _try_guards(self, node: ast.Try) -> bool:
+        """Does this try close the transaction when an exception escapes?"""
+
+        if node.finalbody and any(_closes(s) for s in node.finalbody):
+            return True
+        return any(
+            self._handler_is_broad(h) and any(_closes(s) for s in h.body)
+            for h in node.handlers
+        )
+
+    @staticmethod
+    def _handler_is_broad(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        names = {
+            n.id
+            for n in ast.walk(handler.type)
+            if isinstance(n, ast.Name)
+        }
+        return bool(names & {"Exception", "BaseException"})
+
+    def _block_chain(
+        self, func: ast.AST, target: ast.stmt
+    ) -> Optional[List[Tuple[List[ast.stmt], int, ast.AST]]]:
+        """Innermost-out (block, index-of-containing-stmt, owner) chain.
+
+        ``owner`` is the compound statement owning each block (the Try
+        whose body the BEGIN sits in, etc.); the function def owns the
+        outermost block.
+        """
+
+        def find(
+            block: List[ast.stmt], owner: ast.AST
+        ) -> Optional[List[Tuple[List[ast.stmt], int, ast.AST]]]:
+            for i, stmt in enumerate(block):
+                if stmt is target:
+                    return [(block, i, owner)]
+                for sub in self._sub_blocks(stmt):
+                    found = find(sub, stmt)
+                    if found is not None:
+                        return found + [(block, i, owner)]
+            return None
+
+        return find(list(func.body), func)
+
+    @staticmethod
+    def _sub_blocks(stmt: ast.stmt) -> List[List[ast.stmt]]:
+        out: List[List[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            sub = getattr(stmt, attr, None)
+            if sub and isinstance(sub, list) and all(
+                isinstance(s, ast.stmt) for s in sub
+            ):
+                out.append(sub)
+        for handler in getattr(stmt, "handlers", []) or []:
+            out.append(handler.body)
+        return out
+
+    def _block_outcome(self, stmts: List[ast.stmt]) -> str:
+        """How a straight-line block leaves the transaction."""
+
+        for stmt in stmts:
+            if _closes(stmt) and not isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                # a close buried under an `if` is handled below; a direct
+                # statement-level close settles the path
+                if isinstance(stmt, (ast.Expr, ast.Assign, ast.Return)):
+                    return _CLOSED
+            if isinstance(stmt, ast.Return):
+                return _RETURN
+            if isinstance(stmt, ast.Raise):
+                return _RAISE
+            if isinstance(stmt, ast.If):
+                first = self._block_outcome(stmt.body)
+                second = self._block_outcome(stmt.orelse)
+                pair = {first, second}
+                if _OPEN in pair:
+                    continue  # some arm falls through: keep scanning
+                if _RETURN in pair:
+                    return _RETURN
+                return _CLOSED if _CLOSED in pair else _RAISE
+            if isinstance(stmt, ast.Try):
+                if stmt.finalbody and any(_closes(s) for s in stmt.finalbody):
+                    return _CLOSED
+                body_out = self._block_outcome(
+                    list(stmt.body) + list(stmt.orelse)
+                )
+                if body_out == _OPEN:
+                    continue
+                return body_out
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                sub = self._block_outcome(stmt.body)
+                if sub == _OPEN:
+                    continue
+                return sub
+            # loops may run zero times: no guarantee, keep scanning
+        return _OPEN
+
+    # -- rule 2: writes outside a transaction ------------------------------
+    def _check_raw_writes(
+        self,
+        graph: ProjectGraph,
+        module: Module,
+        index,
+        helper_classes: Set[Tuple[str, str]],
+        tx_providers: Set[Tuple[str, str]],
+    ) -> Iterator[Finding]:
+        helper_quals = {
+            cls for rel, cls in helper_classes if rel == module.rel
+        }
+        for qual, func in index.functions.items():
+            cls = qual.rsplit(".", 1)[0] if "." in qual else ""
+            if cls in helper_quals:
+                continue  # the helper's own COMMIT/ROLLBACK machinery
+            info = self._func_info(graph, module.rel, qual, func, helper_classes, tx_providers)
+            for node in _own_nodes(func):
+                if not isinstance(node, ast.Call) or not _is_execute(node):
+                    continue
+                sql = _sql_of(node) or self._folded_sql_head(node)
+                if sql is None:
+                    continue
+                verb = _sql_verb(sql)
+                if verb not in _WRITE_VERBS:
+                    continue
+                recv = _receiver(node)
+                if recv in info.tx_names:
+                    continue
+                begin_line = info.begin_lines.get(recv)
+                if begin_line is not None and begin_line <= node.lineno:
+                    continue
+                if recv.split(".")[0] in info.params and self._param_always_tx(
+                    graph, module.rel, qual, recv.split(".")[0],
+                    helper_classes, tx_providers, set()
+                ):
+                    continue
+                where = recv or "a connection"
+                yield self.finding(
+                    module, node,
+                    f"{verb} on {where} outside any transaction helper; "
+                    "autocommit writes tear under crashes and bypass "
+                    "merge-conflict detection",
+                )
+
+    def _folded_sql_head(self, call: ast.Call) -> Optional[str]:
+        """Best-effort leading SQL text for non-constant first args."""
+
+        if not call.args:
+            return None
+        arg = call.args[0]
+        if isinstance(arg, ast.JoinedStr):
+            for part in arg.values:
+                if isinstance(part, ast.Constant) and isinstance(
+                    part.value, str
+                ):
+                    return part.value
+            return None
+        if isinstance(arg, ast.BinOp):
+            left = arg
+            while isinstance(left, ast.BinOp):
+                left = left.left
+            if isinstance(left, ast.Constant) and isinstance(left.value, str):
+                return left.value
+        return None
+
+    def _func_info(
+        self,
+        graph: ProjectGraph,
+        rel: str,
+        qual: str,
+        func: ast.AST,
+        helper_classes: Set[Tuple[str, str]],
+        tx_providers: Set[Tuple[str, str]],
+    ) -> _FuncInfo:
+        info = _FuncInfo()
+        args = func.args
+        info.params = {
+            a.arg
+            for a in args.posonlyargs + args.args + args.kwonlyargs
+        }
+        for node in _own_nodes(func):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if not isinstance(expr, ast.Call):
+                        continue
+                    if self._is_tx_call(
+                        graph, rel, qual, expr, helper_classes, tx_providers
+                    ) and isinstance(item.optional_vars, ast.Name):
+                        info.tx_names.add(item.optional_vars.id)
+            if isinstance(node, ast.Call) and _is_begin(node):
+                recv = _receiver(node)
+                line = info.begin_lines.get(recv)
+                if line is None or node.lineno < line:
+                    info.begin_lines[recv] = node.lineno
+        return info
+
+    def _is_tx_call(
+        self,
+        graph: ProjectGraph,
+        rel: str,
+        qual: str,
+        call: ast.Call,
+        helper_classes: Set[Tuple[str, str]],
+        tx_providers: Set[Tuple[str, str]],
+    ) -> bool:
+        name = dotted_name(call.func)
+        refs = graph.resolve_call(rel, qual, name)
+        if not refs and "." in name:
+            refs = graph.functions_by_tail(name.split(".")[-1])
+        for ref in refs:
+            cls = ref.qual.rsplit(".", 1)[0] if "." in ref.qual else ref.qual
+            if (ref.rel, cls) in helper_classes:
+                return True
+            func_qual = ref.qual
+            if func_qual.endswith(".__init__"):
+                func_qual = func_qual.rsplit(".", 1)[0]
+            if (ref.rel, func_qual) in tx_providers or (
+                ref.rel, ref.qual
+            ) in tx_providers:
+                return True
+        return False
+
+    def _param_always_tx(
+        self,
+        graph: ProjectGraph,
+        rel: str,
+        qual: str,
+        param: str,
+        helper_classes: Set[Tuple[str, str]],
+        tx_providers: Set[Tuple[str, str]],
+        visiting: Set[Tuple[str, str]],
+    ) -> bool:
+        """Every call site passes a transaction-scoped connection for
+        ``param`` (recursive over the shared call graph, cycle-safe)."""
+
+        if (rel, qual) in visiting or len(visiting) > 8:
+            return False
+        visiting = visiting | {(rel, qual)}
+        func = graph.modules[rel].functions.get(qual)
+        if func is None:
+            return False
+        args = func.args
+        names = [a.arg for a in args.posonlyargs + args.args]
+        try:
+            pos = names.index(param)
+        except ValueError:
+            return False
+        # `self`-style methods: caller argument positions shift by one
+        skip_self = 1 if names and names[0] in ("self", "cls") else 0
+        sites = graph.calls_by_tail(qual.split(".")[-1])
+        found_site = False
+        for caller_rel, caller_qual, site in sites:
+            match = graph.resolve_call(caller_rel, caller_qual, site.name)
+            if match and all(r.qual != qual for r in match):
+                continue  # resolved to some other function of that tail
+            call = site.node
+            arg_node: Optional[ast.expr] = None
+            call_pos = pos - skip_self
+            if 0 <= call_pos < len(call.args):
+                arg_node = call.args[call_pos]
+            for k in call.keywords:
+                if k.arg == param:
+                    arg_node = k.value
+            if arg_node is None:
+                continue
+            found_site = True
+            passed = dotted_name(arg_node)
+            if not passed:
+                return False
+            caller_func = graph.modules[caller_rel].functions.get(caller_qual)
+            if caller_func is None:
+                return False
+            caller_info = self._func_info(
+                graph, caller_rel, caller_qual, caller_func,
+                helper_classes, tx_providers,
+            )
+            if passed in caller_info.tx_names:
+                continue
+            begin_line = caller_info.begin_lines.get(passed)
+            if begin_line is not None and begin_line <= call.lineno:
+                continue
+            if passed.split(".")[0] in caller_info.params and (
+                self._param_always_tx(
+                    graph, caller_rel, caller_qual, passed.split(".")[0],
+                    helper_classes, tx_providers, visiting,
+                )
+            ):
+                continue
+            return False
+        return found_site

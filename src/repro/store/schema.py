@@ -165,20 +165,26 @@ def ensure_schema(conn: sqlite3.Connection) -> None:
     """Create the schema if absent; refuse a mismatched schema version."""
 
     conn.executescript(_DDL)
-    row = conn.execute(
-        "SELECT value FROM meta WHERE key = 'schema_version'"
-    ).fetchone()
-    if row is None:
-        # OR IGNORE: two processes creating the same fresh database race to
-        # stamp the version; both are writing the same value.
-        conn.execute(
-            "INSERT OR IGNORE INTO meta (key, value) "
-            "VALUES ('schema_version', ?)",
-            (str(SCHEMA_VERSION),),
-        )
-    elif str(row[0]) != str(SCHEMA_VERSION):
-        raise ValueError(
-            f"store schema version {row[0]} != supported {SCHEMA_VERSION}; "
-            "this database was written by an incompatible repro version -- "
-            "export with its own tooling, or start a fresh store"
-        )
+    # BEGIN IMMEDIATE so the check-then-stamp below is one atomic unit:
+    # two processes opening the same fresh database serialize here instead
+    # of racing between the SELECT and the INSERT.
+    conn.execute("BEGIN IMMEDIATE")
+    try:
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        elif str(row[0]) != str(SCHEMA_VERSION):
+            raise ValueError(
+                f"store schema version {row[0]} != supported {SCHEMA_VERSION}; "
+                "this database was written by an incompatible repro version -- "
+                "export with its own tooling, or start a fresh store"
+            )
+        conn.execute("COMMIT")
+    except BaseException:
+        conn.execute("ROLLBACK")
+        raise

@@ -166,7 +166,7 @@ class TestQftOrderCheckers:
             for q in range(n):
                 if not h_done[q] and all((i, q) not in pending for i in range(q)):
                     eligible.append(("h", (q,)))
-            for (i, j) in pending:
+            for (i, j) in sorted(pending):
                 if h_done[i] and not h_done[j]:
                     eligible.append(("cphase", (i, j)))
             ev = rng.choice(eligible)

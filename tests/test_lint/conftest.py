@@ -54,6 +54,21 @@ def lint_purity_fixture():
 
 
 @pytest.fixture(scope="session")
+def lint_sql_fixture():
+    """Lint one store/ file of the sql mini-project (root = the project)."""
+
+    def _lint(filename: str):
+        root = FIXTURES / "sql"
+        return run_lint(
+            [root / "src" / "repro" / "store" / filename],
+            root=root,
+            only=["sql-schema"],
+        )
+
+    return _lint
+
+
+@pytest.fixture(scope="session")
 def marked_lines():
     """1-based line numbers carrying a ``# FINDING`` marker."""
 

@@ -1,0 +1,45 @@
+"""Violations of every concurrency rule (linted as data, never imported)."""
+
+import multiprocessing as mp
+import random
+import signal
+import sqlite3
+from concurrent.futures import ProcessPoolExecutor
+
+RNG = random.Random(1234)  # FINDING: module-scope RNG used by the worker
+DB = sqlite3.connect("cells.db")  # FINDING: module-scope connection crosses fork
+
+
+def worker(spec):
+    DB.execute("SELECT 1")
+    return RNG.random(), spec
+
+
+def run_all(specs):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(worker, specs))
+
+
+def child(conn, url):
+    return conn, url
+
+
+def spawn(url):
+    conn = sqlite3.connect(url)
+    proc = mp.Process(target=child, args=(conn, url))  # FINDING: conn passed across fork
+    proc.start()
+    return proc
+
+
+def _on_alarm(signum, frame):
+    audit_timeout()
+    raise TimeoutError()
+
+
+def audit_timeout():
+    print("cell timed out")  # FINDING: not async-signal-safe
+
+
+def arm(seconds):
+    signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(seconds)

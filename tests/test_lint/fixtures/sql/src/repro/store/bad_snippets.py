@@ -1,0 +1,38 @@
+"""SQL drifted from schema.py: every statement here is wrong somehow."""
+
+import sqlite3
+
+
+def open_store(path):
+    return sqlite3.connect(path)
+
+
+def unknown_table(conn):
+    return conn.execute("SELECT id FROM cels").fetchall()  # FINDING: typo'd table
+
+
+def unknown_column(conn):
+    return conn.execute("SELECT cell_hash FROM cells").fetchall()  # FINDING
+
+
+def unknown_qualified(conn):
+    sql = "SELECT c.value FROM metrics m JOIN cells c ON c.id = m.cell_id"
+    return conn.execute(sql).fetchall()  # FINDING: cells has no value column
+
+
+def bad_insert_column(conn, k, v):
+    conn.execute("INSERT INTO meta (key, val) VALUES (?, ?)", (k, v))  # FINDING
+
+
+def bad_insert_arity(conn):
+    conn.execute("INSERT INTO cells (cell_key, status) VALUES (?, ?, ?)")  # FINDING
+
+
+def bad_params_arity(conn, key):
+    conn.execute("UPDATE cells SET status = ? WHERE cell_key = ?", (key,))  # FINDING
+
+
+def bad_assembled(conn):
+    sql = "SELECT id FROM cells"
+    sql += " ORDER BY created_of"
+    return conn.execute(sql).fetchall()  # FINDING: typo'd ORDER BY column

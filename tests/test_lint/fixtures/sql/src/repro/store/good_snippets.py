@@ -1,0 +1,58 @@
+"""SQL in agreement with schema.py, including the dynamic shapes the
+real store uses (f-string holes, ``sql +=`` assembly, subqueries,
+upserts) -- all must come back clean."""
+
+import sqlite3
+
+
+def open_store(path):
+    return sqlite3.connect(path)
+
+
+def get_version(conn):
+    return conn.execute(
+        "SELECT value FROM meta WHERE key = 'schema_version'"
+    ).fetchone()
+
+
+def put_cell(conn, cols, marks, row):
+    # dynamic column list: holes make the statement unverifiable -> skipped
+    conn.execute(f"INSERT INTO cells ({cols}) VALUES ({marks})", row)
+
+
+def query(conn, clauses, limit):
+    sql = "SELECT cell_key, status FROM cells"
+    if clauses:
+        sql += " WHERE " + " AND ".join(clauses)
+    sql += " ORDER BY cell_key, id"
+    if limit:
+        sql += " LIMIT ?"
+    return conn.execute(sql).fetchall()
+
+
+def upsert(conn, key, value):
+    conn.execute(
+        "INSERT INTO meta (key, value) VALUES (?, ?) "
+        "ON CONFLICT (key) DO UPDATE SET value = excluded.value",
+        (key, value),
+    )
+
+
+def add_metrics(conn, rows):
+    conn.executemany(
+        "INSERT INTO metrics (cell_id, name, value) VALUES (?, ?, ?)", rows
+    )
+
+
+def status_counts(conn, cutoff):
+    return conn.execute(
+        "SELECT status, COUNT(*) FROM ("
+        " SELECT cell_key, status FROM cells WHERE created_at > ?"
+        ") GROUP BY status ORDER BY status",
+        (cutoff,),
+    ).fetchall()
+
+
+def newest_rowid(conn):
+    # implicit rowid column is always legal
+    return conn.execute("SELECT rowid FROM cells ORDER BY rowid DESC").fetchone()

@@ -1,0 +1,29 @@
+"""Declared schema for the sql-schema fixture mini-project.
+
+The checker reads ``_DDL`` from this file's AST (relative to the
+project root), exactly as it reads the real ``store/schema.py``.
+"""
+
+SCHEMA_VERSION = 1
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    cell_key   TEXT NOT NULL,
+    status     TEXT,
+    result     TEXT,
+    created_at TEXT,
+    UNIQUE (cell_key)
+);
+CREATE TABLE IF NOT EXISTS metrics (
+    cell_id INTEGER NOT NULL REFERENCES cells(id),
+    name    TEXT NOT NULL,
+    value   REAL,
+    PRIMARY KEY (cell_id, name)
+);
+CREATE INDEX IF NOT EXISTS cells_by_status ON cells (status);
+"""

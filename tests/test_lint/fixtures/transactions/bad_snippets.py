@@ -1,0 +1,44 @@
+"""Violations of every transaction-discipline rule (linted as data)."""
+
+import sqlite3
+
+
+def open_store(path):
+    return sqlite3.connect(path)
+
+
+def leak_on_fallthrough(conn):
+    conn.execute("BEGIN IMMEDIATE")  # FINDING x2: never closed, no guard
+    conn.execute("SELECT 1")
+
+
+def leak_on_return(conn):
+    conn.execute("BEGIN IMMEDIATE")  # FINDING x2: returns open, no guard
+    return conn.execute("SELECT 1").fetchone()
+
+
+def narrow_guard(conn):
+    conn.execute("BEGIN IMMEDIATE")  # FINDING: KeyError handler is not broad
+    try:
+        conn.execute("INSERT INTO t (a) VALUES (1)")
+        conn.execute("COMMIT")
+    except KeyError:
+        conn.execute("ROLLBACK")
+        raise
+
+
+class BrokenTx:
+    def __init__(self, conn):
+        self._conn = conn
+
+    def __enter__(self):
+        self._conn.execute("BEGIN IMMEDIATE")  # FINDING: __exit__ lacks rollback
+        return self._conn
+
+    def __exit__(self, exc_type, exc, tb):
+        self._conn.execute("COMMIT")
+        return False
+
+
+def stamp_meta(conn, value):
+    conn.execute("INSERT INTO meta (key, value) VALUES ('x', ?)", (value,))  # FINDING: autocommit write

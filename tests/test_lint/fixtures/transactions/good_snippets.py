@@ -1,0 +1,57 @@
+"""Disciplined transactions: helper class, provider, guarded BEGIN."""
+
+import sqlite3
+
+
+class Tx:
+    """Recognized structurally: __enter__ BEGINs, __exit__ closes both arms."""
+
+    def __init__(self, conn):
+        self._conn = conn
+
+    def __enter__(self):
+        self._conn.execute("BEGIN IMMEDIATE")
+        return self._conn
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self._conn.execute("COMMIT")
+        else:
+            self._conn.execute("ROLLBACK")
+        return False
+
+
+class Store:
+    def __init__(self, path):
+        self._conn = sqlite3.connect(path)
+
+    def _tx(self):
+        return Tx(self._conn)
+
+    def put(self, key, value):
+        with self._tx() as conn:
+            conn.execute(
+                "INSERT INTO meta (key, value) VALUES (?, ?)", (key, value)
+            )
+
+    def put_many(self, cell_id, rows):
+        with self._tx() as conn:
+            self._refresh(conn, cell_id, rows)
+
+    def _refresh(self, conn, cell_id, rows):
+        # writes on a parameter: every call site passes a tx-scoped conn
+        conn.execute("DELETE FROM metrics WHERE cell_id = ?", (cell_id,))
+        conn.executemany(
+            "INSERT INTO metrics (cell_id, name, value) VALUES (?, ?, ?)",
+            rows,
+        )
+
+
+def explicit_guard(conn):
+    conn.execute("BEGIN IMMEDIATE")
+    try:
+        conn.execute("UPDATE meta SET value = '2' WHERE key = 'v'")
+        conn.execute("COMMIT")
+    except BaseException:
+        conn.execute("ROLLBACK")
+        raise

@@ -1,0 +1,35 @@
+"""The ``concurrency`` checker against its fixture pair.
+
+``bad_snippets.py`` exercises all three rules: a module-scope RNG and
+sqlite connection read by a worker function reached through
+``pool.map``, a connection created in the parent and passed through
+``Process(args=...)``, and a ``print`` reachable from a registered
+SIGALRM handler.  ``good_snippets.py`` does the same jobs with
+per-worker resources and a flag-only handler.
+"""
+
+
+def test_bad_fixture_flags_every_marked_line(lint_fixture, marked_lines):
+    findings = lint_fixture("concurrency/bad_snippets.py", only=["concurrency"])
+    assert [f.line for f in findings] == marked_lines(
+        "concurrency/bad_snippets.py"
+    )
+    assert all(f.checker == "concurrency" for f in findings)
+
+
+def test_each_rule_fires(lint_fixture):
+    findings = lint_fixture("concurrency/bad_snippets.py", only=["concurrency"])
+    blob = "\n".join(f.message for f in findings)
+    assert "module-scope random.Random instance 'RNG'" in blob
+    assert "module-scope sqlite connection 'DB'" in blob
+    assert "worker-side function worker()" in blob
+    assert "sqlite connection 'conn'" in blob
+    assert "passed across a fork/submit point" in blob
+    assert "call to print()" in blob
+    assert "signal handler" in blob
+
+
+def test_good_fixture_is_clean(lint_fixture):
+    assert lint_fixture(
+        "concurrency/good_snippets.py", only=["concurrency"]
+    ) == []

@@ -10,11 +10,12 @@ from repro.registry import UnknownNameError
 
 ALL_CHECKERS = (
     "determinism", "cache-purity", "registry-hygiene", "error-discipline",
+    "concurrency", "transaction-discipline", "sql-schema",
 )
 
 
 # ---------------------------------------------------------------- registry
-def test_all_four_checkers_registered():
+def test_all_seven_checkers_registered():
     assert set(ALL_CHECKERS) <= set(CHECKERS.names())
 
 
@@ -23,6 +24,9 @@ def test_synonyms_resolve():
     assert CHECKERS.canonical("no-fork") == "cache-purity"
     assert CHECKERS.canonical("hygiene") == "registry-hygiene"
     assert CHECKERS.canonical("errors") == "error-discipline"
+    assert CHECKERS.canonical("fork-safety") == "concurrency"
+    assert CHECKERS.canonical("tx") == "transaction-discipline"
+    assert CHECKERS.canonical("schema-drift") == "sql-schema"
 
 
 def test_unknown_checker_raises_with_suggestion(tmp_path):

@@ -1,0 +1,45 @@
+"""The ``sql-schema`` checker against its mini-project fixtures.
+
+``fixtures/sql/`` mirrors the real layout: ``src/repro/store/schema.py``
+declares ``_DDL`` and the snippets execute SQL against it.  The bad
+file drifts in every checked way (typo'd table, unknown bare and
+alias-qualified columns, INSERT column/VALUES arity, placeholder/params
+arity, a typo in ``sql +=`` assembly); the good file uses the dynamic
+shapes the real store relies on (f-string holes, conditional WHERE
+assembly, upsert with ``excluded.``, subquery, implicit rowid) and must
+come back clean.
+"""
+
+
+def test_bad_fixture_flags_every_marked_line(lint_sql_fixture, marked_lines):
+    findings = lint_sql_fixture("bad_snippets.py")
+    assert [f.line for f in findings] == marked_lines(
+        "sql/src/repro/store/bad_snippets.py"
+    )
+    assert all(f.checker == "sql-schema" for f in findings)
+
+
+def test_each_rule_fires(lint_sql_fixture):
+    findings = lint_sql_fixture("bad_snippets.py")
+    blob = "\n".join(f.message for f in findings)
+    assert "unknown table 'cels'" in blob
+    assert "unknown column 'cell_hash'" in blob
+    assert "unknown column c.value" in blob
+    assert "unknown column 'val' in INSERT INTO meta" in blob
+    assert "lists 2 column(s) but VALUES has 3 item(s)" in blob
+    assert "2 placeholder(s) but the call passes 1 parameter(s)" in blob
+    assert "unknown column 'created_of'" in blob
+
+
+def test_good_fixture_is_clean(lint_sql_fixture):
+    assert lint_sql_fixture("good_snippets.py") == []
+
+
+def test_silent_without_a_schema_module(lint_fixture):
+    """Outside a project that declares store/schema.py the checker stays
+    quiet (mirrors cache-purity's behavior without approaches.py)."""
+
+    findings = lint_fixture(
+        "transactions/bad_snippets.py", only=["sql-schema"]
+    )
+    assert findings == []

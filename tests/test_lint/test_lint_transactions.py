@@ -1,0 +1,41 @@
+"""The ``transaction-discipline`` checker against its fixture pair.
+
+``bad_snippets.py`` holds one violation per rule: a BEGIN that falls
+off the end, one that returns with the transaction open, one whose only
+handler is too narrow to guard the raising path, a helper class whose
+``__exit__`` forgets the rollback arm, and a bare autocommit INSERT.
+``good_snippets.py`` shows the disciplined versions the real store
+uses: a structural helper class, a provider method, writes through a
+parameter whose every call site is transaction-scoped, and an explicit
+BEGIN/COMMIT/ROLLBACK guard.
+"""
+
+
+def _lint(lint_fixture, name):
+    return lint_fixture(
+        f"transactions/{name}", only=["transaction-discipline"]
+    )
+
+
+def test_bad_fixture_flags_every_marked_line(lint_fixture, marked_lines):
+    findings = _lint(lint_fixture, "bad_snippets.py")
+    # a single unclosed BEGIN yields two findings (normal + raising path),
+    # so compare the distinct line sets
+    assert sorted({f.line for f in findings}) == marked_lines(
+        "transactions/bad_snippets.py"
+    )
+    assert all(f.checker == "transaction-discipline" for f in findings)
+
+
+def test_each_rule_fires(lint_fixture):
+    findings = _lint(lint_fixture, "bad_snippets.py")
+    blob = "\n".join(f.message for f in findings)
+    assert "BEGIN falls off the end without commit() or rollback()" in blob
+    assert "BEGIN returns without commit() or rollback()" in blob
+    assert blob.count("no finally/except closes this BEGIN") == 3
+    assert "BrokenTx.__exit__() never calls rollback()" in blob
+    assert "INSERT on conn outside any transaction helper" in blob
+
+
+def test_good_fixture_is_clean(lint_fixture):
+    assert _lint(lint_fixture, "good_snippets.py") == []

@@ -1,0 +1,95 @@
+"""Whole-program guarantees: the tree self-lints clean under all seven
+checkers, and seeded mutations of the *real* source are caught by the
+matching checker (the lint-layer analogue of the chaos suite's crash
+drills -- proves the checkers defend the invariants they claim to).
+"""
+
+import shutil
+
+import pytest
+
+from repro.lint import run_lint
+
+SEVEN_CHECKERS = (
+    "determinism", "cache-purity", "registry-hygiene", "error-discipline",
+    "concurrency", "transaction-discipline", "sql-schema",
+)
+
+
+def test_self_lint_clean_with_all_seven_checkers(repo_root):
+    """src/repro is clean -- no baseline, no grandfathering."""
+
+    findings = run_lint(
+        [repo_root / "src" / "repro"],
+        root=repo_root,
+        only=list(SEVEN_CHECKERS),
+    )
+    assert [f.render() for f in findings] == []
+
+
+# ---------------------------------------------------------------- drills
+@pytest.fixture()
+def mirror(repo_root, tmp_path):
+    """Copy real store/eval modules into a scratch project tree."""
+
+    def _mirror(*rels):
+        for rel in rels:
+            dst = tmp_path / rel
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            shutil.copy(repo_root / rel, dst)
+        return tmp_path
+
+    return _mirror
+
+
+def _lint(root, rel, checker):
+    return run_lint([root / rel], root=root, only=[checker])
+
+
+def test_drill_dropped_rollback_is_caught(mirror):
+    root = mirror("src/repro/store/schema.py")
+    rel = "src/repro/store/schema.py"
+    assert _lint(root, rel, "transaction-discipline") == []  # control
+    path = root / rel
+    source = path.read_text()
+    mutated = source.replace('conn.execute("ROLLBACK")', "pass")
+    assert mutated != source
+    path.write_text(mutated)
+    findings = _lint(root, rel, "transaction-discipline")
+    assert any(
+        "no finally/except closes this BEGIN" in f.message for f in findings
+    )
+
+
+def test_drill_renamed_schema_column_is_caught(mirror):
+    root = mirror("src/repro/store/schema.py", "src/repro/store/store.py")
+    rel = "src/repro/store/store.py"
+    assert _lint(root, rel, "sql-schema") == []  # control
+    schema = root / "src/repro/store/schema.py"
+    source = schema.read_text()
+    mutated = source.replace("cell_key", "cell_key_renamed")
+    assert mutated != source
+    schema.write_text(mutated)
+    findings = _lint(root, rel, "sql-schema")
+    assert any("cell_key" in f.message for f in findings)
+
+
+def test_drill_hoisted_connection_is_caught(mirror):
+    root = mirror("src/repro/eval/executors.py")
+    rel = "src/repro/eval/executors.py"
+    assert _lint(root, rel, "concurrency") == []  # control
+    path = root / rel
+    path.write_text(
+        path.read_text()
+        + "\n\nimport sqlite3\n"
+        + '_HOISTED_CONN = sqlite3.connect("cells.db")\n\n\n'
+        + "def _hoisted_worker(spec):\n"
+        + '    return _HOISTED_CONN.execute("SELECT 1")\n\n\n'
+        + "def _hoisted_submit(pool, specs):\n"
+        + "    return [pool.submit(_hoisted_worker, s) for s in specs]\n"
+    )
+    findings = _lint(root, rel, "concurrency")
+    assert any(
+        "module-scope sqlite connection '_HOISTED_CONN'" in f.message
+        for f in findings
+    )
