@@ -7,9 +7,16 @@ is at least 2x (EXPERIMENTS.md discusses the difference)."""
 
 import pytest
 
+import repro
 from repro.arch import LatticeSurgeryTopology, SycamoreTopology
-from repro.core import compile_qft
 from repro.verify import check_mapped_qft_structure
+
+
+def _qft(topo, *, strict_ie=False):
+    return repro.compile(
+        workload="qft", architecture=topo, approach="ours",
+        verify=False, strict_ie=strict_ie,
+    ).mapped
 
 SYCAMORE_SIZES = [4, 6]
 LATTICE_SIZES = [6, 8]
@@ -17,7 +24,7 @@ LATTICE_SIZES = [6, 8]
 
 def _run(benchmark, topo, strict):
     def compile_once():
-        return compile_qft(topo, strict_ie=strict)
+        return _qft(topo, strict_ie=strict)
 
     mapped = benchmark.pedantic(compile_once, rounds=1, iterations=1)
     assert check_mapped_qft_structure(mapped, topo.num_qubits).ok
@@ -45,8 +52,8 @@ def test_relaxed_is_at_least_twice_as_shallow(benchmark, m):
     topo = SycamoreTopology(m)
 
     def both():
-        relaxed = compile_qft(topo, strict_ie=False)
-        strict = compile_qft(topo, strict_ie=True)
+        relaxed = _qft(topo, strict_ie=False)
+        strict = _qft(topo, strict_ie=True)
         return relaxed, strict
 
     relaxed, strict = benchmark.pedantic(both, rounds=1, iterations=1)

@@ -24,7 +24,8 @@ import math
 
 import numpy as np
 
-from repro import CaterpillarTopology, compile_qft
+import repro
+from repro import CaterpillarTopology
 from repro.circuit import GateKind
 from repro.verify.statevector import apply_gate
 
@@ -48,7 +49,9 @@ def run_qpe(phase: float, counting_qubits: int = 4):
     # three qubits with one dangling qubit (four in total).
     device = CaterpillarTopology(3, [1])
     assert device.num_qubits == counting_qubits
-    mapped_qft = compile_qft(device)
+    mapped_qft = repro.compile(
+        workload="qft", architecture=device, approach="ours"
+    ).mapped
 
     t = counting_qubits
     n = t + 1  # one extra qubit holds the eigenstate |1> of U = diag(1, e^{2*pi*i*phase})

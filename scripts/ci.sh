@@ -21,11 +21,14 @@ lint_format="text"
 if [ -n "${GITHUB_ACTIONS:-}" ]; then
     lint_format="github"
 fi
-echo "=== repro.lint: static invariant checks (all seven checkers) ==="
+echo "=== repro.lint: static invariant checks (all eight checkers) ==="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.lint --target src \
     --baseline LINT_BASELINE.txt --format "$lint_format"
-echo "=== repro.lint: scripts/ + tests/ (determinism, error-discipline) ==="
+echo "=== repro.lint: scripts/ + tests/ (determinism, error-discipline, deprecated-api) ==="
 PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.lint --target tools \
+    --format "$lint_format"
+echo "=== repro.lint: examples/ + benchmarks/ (deprecated-api) ==="
+PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m repro.lint --target examples \
     --format "$lint_format"
 echo "lint ok"
 if [ "${1:-}" = "--lint-only" ]; then
@@ -269,6 +272,45 @@ if [ "${1:-}" = "--store-only" ]; then
 fi
 
 # ---------------------------------------------------------------------------
+# Serve smoke: the compilation service under real traffic.  serve_bench.py
+# boots `python -m repro.serve` (warm pool, ephemeral port), drives the
+# closed- and open-loop load shapes against it, and SIGTERMs it afterwards
+# (a hung drain fails the script).  The leg asserts zero request errors and
+# a hard p99 ceiling, then runs the perf gate against the committed serve
+# baseline -- the serve cells are pinned exactly like the compile cells.
+# ---------------------------------------------------------------------------
+serve_smoke() {
+    echo "=== serve smoke: traffic generator vs python -m repro.serve ==="
+    local serve_json
+    serve_json=$(mktemp --suffix=.json)
+    python scripts/serve_bench.py --smoke --out "$serve_json"
+    python - "$serve_json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+for shape in data["shapes"]:
+    assert shape["errors"] == 0, f"{shape['mode']}-loop had errors: {shape}"
+    # Hard ceiling, not a regression gate: a served compile of a prewarmed
+    # 4x4 grid must never take seconds (perf_gate handles the 1.5x drift).
+    assert shape["p99_ms"] < 2000, f"{shape['mode']}-loop p99 {shape['p99_ms']}ms"
+print("serve smoke ok: " + ", ".join(
+    f"{s['mode']} p50 {s['p50_ms']}ms p99 {s['p99_ms']}ms "
+    f"{s['throughput_rps']} req/s" for s in data["shapes"]))
+PY
+    python scripts/perf_gate.py "$serve_json" \
+        --baseline BENCH_baseline_serve_smoke.json
+    rm -f "$serve_json"
+}
+
+if [ "${1:-}" = "--serve-only" ]; then
+    echo "=== serve tests: tests/test_serve/ + public-surface contract ==="
+    PYTHONPATH=src${PYTHONPATH:+:$PYTHONPATH} python -m pytest \
+        tests/test_serve tests/test_public_api.py -q
+    serve_smoke
+    echo "ci.sh: serve-only run complete"
+    exit 0
+fi
+
+# ---------------------------------------------------------------------------
 # SABRE kernel leg.  CI runs this script twice per Python version:
 #   - compiled leg:  REPRO_SABRE_KERNEL=c      (extension built, required)
 #   - fallback leg:  REPRO_SABRE_KERNEL=python (extension never consulted)
@@ -369,6 +411,9 @@ chaos_smoke
 
 echo
 store_smoke
+
+echo
+serve_smoke
 
 echo
 echo "=== perf smoke: fixed compile-time micro-suite ==="

@@ -27,7 +27,14 @@ the committed JSON: the latest recorded bench payload for the current run's
 suite (optionally pinned to one commit via ``--db-commit``), reconstructed
 cell-for-cell from ``bench_cells`` rows.  The committed-JSON baseline stays
 as the fallback when the store is absent or holds no matching recording, so
-CI cannot go silently ungated during the migration.
+CI cannot go silently ungated during the migration.  Whichever way the
+baseline was resolved, a ``perf gate: baseline source: ...`` line names it
+before any verdict -- pass, fail, store hit or JSON fallback alike.
+
+The gate also pins the serve layer: ``scripts/serve_bench.py`` emits the
+same ``groups``/``cells`` shape (one cell per load shape, ``compile_time_s``
+= the shape's p50 latency), gated against the committed
+``BENCH_baseline_serve_smoke.json`` by ``scripts/ci.sh --serve-only``.
 
 Environment overrides (for slow/shared runners): ``REPRO_PERF_GATE_FACTOR``,
 ``REPRO_PERF_GATE_SLACK_S``, ``REPRO_PERF_BASELINE``; ``REPRO_PERF_GATE=off``
@@ -168,6 +175,11 @@ def main(argv=None) -> int:
         except (OSError, ValueError) as exc:
             print(f"perf gate: cannot load inputs: {exc}", file=sys.stderr)
             return 2
+        baseline_name = f"committed JSON {os.path.basename(args.baseline)}"
+
+    # Name the source on *every* path -- pass or fail, store or fallback --
+    # so a CI log always shows which numbers the run was gated against.
+    print(f"perf gate: baseline source: {baseline_name}")
 
     if baseline.get("suite") != current.get("suite"):
         print(
@@ -218,15 +230,25 @@ def main(argv=None) -> int:
     if offenders:
         print(
             f"perf gate: FAIL — {len(offenders)} of {len(pinned)} pinned cells "
-            f"regressed beyond {args.factor}x (+{args.slack_s}s slack):",
+            f"regressed beyond {args.factor}x (+{args.slack_s}s slack) "
+            f"of {baseline_name}:",
             file=sys.stderr,
         )
         for key, why, _ratio in offenders:
             print(f"  - {_fmt(key)}: {why}", file=sys.stderr)
+        if str(current.get("suite", "")).startswith("serve"):
+            refresh = (
+                "python scripts/serve_bench.py --smoke "
+                "--out BENCH_baseline_serve_smoke.json"
+            )
+        else:
+            refresh = (
+                "REPRO_SABRE_KERNEL=python python scripts/bench.py "
+                "--smoke --out BENCH_baseline_smoke.json"
+            )
         print(
             "perf gate: if this is an intentional trade-off, refresh the "
-            "baseline: REPRO_SABRE_KERNEL=python python scripts/bench.py "
-            "--smoke --out BENCH_baseline_smoke.json",
+            f"baseline: {refresh}",
             file=sys.stderr,
         )
         return 1

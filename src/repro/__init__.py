@@ -21,9 +21,15 @@ Architectures (:mod:`repro.arch`):
     ``CaterpillarTopology`` / ``HeavyHexTopology``, ``LatticeSurgeryTopology``.
 
 Compilation (:mod:`repro.core`):
-    ``compile_qft(topology)`` -- thin QFT shim over ``repro.compile``,
-    plus the individual mappers (``LNNQFTMapper``, ``HeavyHexQFTMapper``,
+    the individual mappers (``LNNQFTMapper``, ``HeavyHexQFTMapper``,
     ``SycamoreQFTMapper``, ``LatticeSurgeryQFTMapper``, ``GridQFTMapper``).
+    The old ``compile_qft(topology)`` facade survives as a deprecated shim
+    (importable, warns, not part of ``__all__``).
+
+Serving (:mod:`repro.serve`):
+    ``python -m repro.serve`` -- asyncio HTTP service over warm workers;
+    ``CompileRequest`` / ``CompileResponse`` are the versioned wire schema
+    (re-exported here) and ``ServeClient`` the blocking client.
 
 Baselines (:mod:`repro.baselines`):
     ``SabreMapper`` (re-implemented SABRE), ``SatmapMapper`` (exact
@@ -100,6 +106,10 @@ from .approaches import (
 )
 from .compile_api import CompileResult, compile
 
+# the serve wire schema is part of the top-level surface: repro.compile
+# kwargs and the HTTP request body share these field names verbatim
+from .serve.api import ApiError, CompileRequest, CompileResponse
+
 __version__ = "2.0.0"
 
 __all__ = [
@@ -128,7 +138,6 @@ __all__ = [
     "LNNQFTMapper",
     "QFTDependenceTracker",
     "SycamoreQFTMapper",
-    "compile_qft",
     "mapper_for",
     "verify_mapped_qft",
     "Registry",
@@ -152,5 +161,8 @@ __all__ = [
     "register_approach",
     "CompileResult",
     "compile",
+    "ApiError",
+    "CompileRequest",
+    "CompileResponse",
     "__version__",
 ]

@@ -125,6 +125,14 @@ def compile_qft(
     inter-unit schedules, kept only for the relaxed-vs-strict ablation.
     """
 
+    import warnings
+
+    warnings.warn(
+        "compile_qft is deprecated; use repro.compile(workload='qft', "
+        "architecture=<topology>, approach='ours')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..compile_api import compile as _compile
 
     result = _compile(

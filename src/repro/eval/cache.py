@@ -35,7 +35,12 @@ from typing import Dict, Iterable, Optional, Tuple
 from ..approaches import ENGINE_KWARGS
 from .metrics import CompilationResult
 
-__all__ = ["ResultCache", "CacheMergeConflict", "code_version"]
+__all__ = [
+    "ResultCache",
+    "CacheMergeConflict",
+    "cell_cache_key",
+    "code_version",
+]
 
 
 class CacheMergeConflict(ValueError):
@@ -65,6 +70,55 @@ def code_version() -> str:
             digest.update(path.read_bytes())
         _CODE_VERSION = digest.hexdigest()[:12]
     return _CODE_VERSION
+
+
+def cell_cache_key(
+    approach: str,
+    kind: str,
+    size: int,
+    kwargs: Iterable[Tuple[str, object]] = (),
+    rename: Optional[str] = None,
+    timeout_s: Optional[float] = None,
+    workload: str = "qft",
+    workload_params: Iterable[Tuple[str, object]] = (),
+    verify: str = "full",
+    *,
+    code: Optional[str] = None,
+) -> str:
+    """The cache key for one cell spec under code version ``code``.
+
+    This is the single key derivation shared by :meth:`ResultCache.key`
+    and the serve layer's in-memory LRU -- both must agree byte-for-byte
+    so a served request can hit entries written by batch sweeps (and vice
+    versa).  ``code`` defaults to the current :func:`code_version`.
+    """
+
+    payload = json.dumps(
+        {
+            "approach": approach,
+            "kind": kind,
+            "size": size,
+            # Engine-selection options (e.g. the SABRE routing kernel)
+            # are bit-identical by contract, so they are not part of a
+            # cell's identity: a sweep must hit the same cache entries
+            # whether the compiled kernel or the Python fallback ran.
+            "kwargs": sorted(
+                (str(k), repr(v))
+                for k, v in kwargs
+                if str(k) not in ENGINE_KWARGS
+            ),
+            "rename": rename,
+            "timeout_s": timeout_s,
+            "workload": workload,
+            "workload_params": sorted(
+                (str(k), repr(v)) for k, v in workload_params
+            ),
+            "verify": verify,
+            "code": code if code is not None else code_version(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:24]
 
 
 class ResultCache:
@@ -124,32 +178,18 @@ class ResultCache:
     ) -> str:
         kwargs = tuple(kwargs)
         workload_params = tuple(workload_params)
-        payload = json.dumps(
-            {
-                "approach": approach,
-                "kind": kind,
-                "size": size,
-                # Engine-selection options (e.g. the SABRE routing kernel)
-                # are bit-identical by contract, so they are not part of a
-                # cell's identity: a sweep must hit the same cache entries
-                # whether the compiled kernel or the Python fallback ran.
-                "kwargs": sorted(
-                    (str(k), repr(v))
-                    for k, v in kwargs
-                    if str(k) not in ENGINE_KWARGS
-                ),
-                "rename": rename,
-                "timeout_s": timeout_s,
-                "workload": workload,
-                "workload_params": sorted(
-                    (str(k), repr(v)) for k, v in workload_params
-                ),
-                "verify": verify,
-                "code": self.version,
-            },
-            sort_keys=True,
+        cell_key = cell_cache_key(
+            approach,
+            kind,
+            size,
+            kwargs=kwargs,
+            rename=rename,
+            timeout_s=timeout_s,
+            workload=workload,
+            workload_params=workload_params,
+            verify=verify,
+            code=self.version,
         )
-        cell_key = hashlib.sha256(payload.encode()).hexdigest()[:24]
         if self._store is not None:
             from ..store import identity_columns
 

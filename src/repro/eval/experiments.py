@@ -42,7 +42,8 @@ from ..workloads import workload_names
 from .cache import CacheMergeConflict, ResultCache
 from .executors import executor_names
 from .metrics import CompilationResult
-from .parallel import CellSpec, run_cells
+from .executors import run_specs
+from .parallel import CellSpec
 from .runs import (
     EXPERIMENT_REGISTRY,
     execute,
@@ -181,7 +182,7 @@ def experiment_table1(
     """Deprecated shim: ``execute(plan("table1", profile), ...)``."""
 
     _deprecated("experiment_table1", 'execute(plan("table1", ...))')
-    return run_cells(specs_table1(profile), jobs=jobs, cache=cache)
+    return run_specs(specs_table1(profile), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -216,7 +217,7 @@ def experiment_figure17_heavyhex(
     """Deprecated shim: ``execute(plan("fig17", profile), ...)``."""
 
     _deprecated("experiment_figure17_heavyhex", 'execute(plan("fig17", ...))')
-    return run_cells(specs_figure17(profile), jobs=jobs, cache=cache)
+    return run_specs(specs_figure17(profile), jobs=jobs, cache=cache)
 
 
 @register_experiment(
@@ -244,7 +245,7 @@ def experiment_figure18_sycamore(
     """Deprecated shim: ``execute(plan("fig18", profile), ...)``."""
 
     _deprecated("experiment_figure18_sycamore", 'execute(plan("fig18", ...))')
-    return run_cells(specs_figure18(profile), jobs=jobs, cache=cache)
+    return run_specs(specs_figure18(profile), jobs=jobs, cache=cache)
 
 
 @register_experiment(
@@ -273,7 +274,7 @@ def experiment_figure19_lattice(
     """Deprecated shim: ``execute(plan("fig19", profile), ...)``."""
 
     _deprecated("experiment_figure19_lattice", 'execute(plan("fig19", ...))')
-    return run_cells(specs_figure19(profile), jobs=jobs, cache=cache)
+    return run_specs(specs_figure19(profile), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -313,7 +314,7 @@ def experiment_figure27_sabre_randomness(
     _deprecated(
         "experiment_figure27_sabre_randomness", 'execute(plan("fig27", ...))'
     )
-    return run_cells(specs_figure27(seeds, m), jobs=jobs, cache=cache)
+    return run_specs(specs_figure27(seeds, m), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -355,7 +356,7 @@ def experiment_relaxed_vs_strict(
     """Deprecated shim: ``execute(plan("relaxed", profile), ...)``."""
 
     _deprecated("experiment_relaxed_vs_strict", 'execute(plan("relaxed", ...))')
-    return run_cells(specs_relaxed_vs_strict(sycamore_m, lattice_m), jobs=jobs, cache=cache)
+    return run_specs(specs_relaxed_vs_strict(sycamore_m, lattice_m), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -391,7 +392,7 @@ def experiment_partition_ablation(
     """Deprecated shim: ``execute(plan("partition", profile), ...)``."""
 
     _deprecated("experiment_partition_ablation", 'execute(plan("partition", ...))')
-    return run_cells(specs_partition_ablation(lattice_m), jobs=jobs, cache=cache)
+    return run_specs(specs_partition_ablation(lattice_m), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -424,7 +425,7 @@ def experiment_linearity(
     """Deprecated shim: ``execute(plan("linearity", profile), ...)``."""
 
     _deprecated("experiment_linearity", 'execute(plan("linearity", ...))')
-    return run_cells(specs_linearity(profile), jobs=jobs, cache=cache)
+    return run_specs(specs_linearity(profile), jobs=jobs, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -496,7 +497,7 @@ def experiment_workload_sweep(
     _deprecated(
         "experiment_workload_sweep", 'execute(plan("sweep", workload=...))'
     )
-    return run_cells(specs_workload_sweep(workload, profile), jobs=jobs, cache=cache)
+    return run_specs(specs_workload_sweep(workload, profile), jobs=jobs, cache=cache)
 
 
 def run_all(

@@ -108,6 +108,14 @@ def run_cells(
     partitioning, journaling/resume and typed run reports on top.
     """
 
+    import warnings
+
+    warnings.warn(
+        "run_cells is deprecated; use repro.eval.executors.run_specs, or "
+        "repro.eval.runs.plan()/execute() for journaled runs",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from .executors import run_specs  # deferred: executors imports CellSpec
 
     return run_specs(

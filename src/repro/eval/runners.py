@@ -148,6 +148,7 @@ def run_cell(
     *,
     workload: str = "qft",
     workload_params: Optional[Dict[str, object]] = None,
+    num_qubits: Optional[int] = None,
     verify: Union[bool, str] = True,
     max_qubits: Optional[int] = None,
     timeout_s: Optional[float] = None,
@@ -164,6 +165,10 @@ def run_cell(
     broken mapper while paying it on a quarter of the cells.  Non-default
     policies are recorded in the result's ``extra["verify_policy"]`` (and
     are part of the harness cache key).
+
+    ``num_qubits`` sets the workload instance size (defaults to the full
+    device), mirroring ``repro.compile`` -- the serve layer uses it to run
+    kernels smaller than the device through the same cell machinery.
 
     ``max_qubits`` marks the cell as "skipped" (instead of running for hours)
     when the instance exceeds the harness cap for that approach -- this is how
@@ -227,6 +232,7 @@ def run_cell(
         workload=workload,
         architecture=topology,
         approach=approach,
+        num_qubits=num_qubits,
         workload_params=workload_params,
         verify=do_verify,
         timeout_s=timeout_s,

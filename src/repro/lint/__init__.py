@@ -7,7 +7,7 @@ engine options, journals that resume bit-equal -- are enforced here as
 every file (not just the (workload, architecture, seed) points the
 equivalence suites happen to sample).
 
-Seven checkers ship built-in, registered through the same
+Eight checkers ship built-in, registered through the same
 :class:`~repro.registry.Registry` mechanism as workloads, approaches and
 architectures (:func:`register_checker` to plug in more).  They share a
 single whole-program index (:mod:`repro.lint.graph`): each file is
@@ -42,6 +42,10 @@ by every checker.
     Every SQL string executed in ``store/`` references only tables and
     columns declared in ``store/schema.py``, with matching placeholder
     arity (stdlib-only SQL tokenizer).
+``deprecated-api``
+    No new imports or calls of the retired shims (``compile_qft``,
+    ``run_cells``, ``experiment_*``/``run_all``) outside the modules
+    that define or re-export them.
 
 Run it as ``python -m repro.lint [paths] [--baseline FILE] [--fix-hints]``;
 findings render ``file:line:checker:message``, are suppressible per line
@@ -71,6 +75,7 @@ from . import discipline as _discipline  # noqa: F401,E402
 from . import concurrency as _concurrency  # noqa: F401,E402
 from . import transactions as _transactions  # noqa: F401,E402
 from . import sql as _sql  # noqa: F401,E402
+from . import deprecated as _deprecated  # noqa: F401,E402
 
 __all__ = [
     "Finding",

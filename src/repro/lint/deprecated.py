@@ -1,0 +1,101 @@
+"""The deprecated-api checker: retired shims must not gain new callers.
+
+PR 10 retired the pre-redesign entry points -- ``compile_qft``,
+``run_cells``, the ``experiment_*`` family and ``run_all`` -- to
+runtime-warning shims over :func:`repro.compile`,
+:func:`repro.eval.executors.run_specs` and the ``plan()``/``execute()``
+run API.  The runtime ``DeprecationWarning`` only fires on code that
+*executes*; this checker makes the retirement a static property of the
+tree, so a new import or call of a retired name is a lint failure even in
+a path no test covers.
+
+Shim-home modules are exempt: the files that *define* the shims (and the
+package ``__init__`` files that re-export them for backwards
+compatibility) necessarily mention the names.  A test that deliberately
+exercises a shim's contract suppresses the finding with
+``# repro-lint: ignore[deprecated-api]`` on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from .framework import Checker, Finding, Module, Project, register_checker
+
+__all__ = ["DeprecatedApiChecker", "DEPRECATED_NAMES"]
+
+#: retired name -> the supported replacement named in the finding
+DEPRECATED_NAMES: Dict[str, str] = {
+    "compile_qft": "repro.compile(workload='qft', architecture=..., "
+    "approach='ours')",
+    "run_cells": "repro.eval.executors.run_specs (or runs.plan()/execute())",
+    "run_all": "execute(plan(name, profile)) per experiment",
+    "experiment_table1": 'execute(plan("table1", profile))',
+    "experiment_figure17_heavyhex": 'execute(plan("fig17", profile))',
+    "experiment_figure18_sycamore": 'execute(plan("fig18", profile))',
+    "experiment_figure19_lattice": 'execute(plan("fig19", profile))',
+    "experiment_figure27_sabre_randomness": 'execute(plan("fig27", profile))',
+    "experiment_relaxed_vs_strict": 'execute(plan("relaxed", profile))',
+    "experiment_partition_ablation": 'execute(plan("partition", profile))',
+    "experiment_linearity": 'execute(plan("linearity", profile))',
+    "experiment_workload_sweep": 'execute(plan("sweep", profile))',
+}
+
+#: repo-relative suffixes of the modules that define or re-export the shims
+SHIM_HOMES = (
+    "repro/core/mapper.py",
+    "repro/eval/parallel.py",
+    "repro/eval/experiments.py",
+    "repro/__init__.py",
+    "repro/core/__init__.py",
+    "repro/eval/__init__.py",
+)
+
+
+def _is_shim_home(module: Module) -> bool:
+    rel = module.rel
+    return any(rel.endswith(suffix) for suffix in SHIM_HOMES)
+
+
+@register_checker("deprecated-api", synonyms=("deprecated", "shims"))
+class DeprecatedApiChecker(Checker):
+    """Flags imports and uses of runtime-deprecated entry points."""
+
+    description = (
+        "no new imports or calls of retired shims (compile_qft, run_cells, "
+        "experiment_*/run_all); use repro.compile / run_specs / "
+        "plan()+execute()"
+    )
+    hint = "port the call site to the replacement the message names"
+
+    def check(self, project: Project) -> Iterator[Finding]:
+        for module in project.targets:
+            if _is_shim_home(module):
+                continue
+            yield from self._check_module(module)
+
+    def _check_module(self, module: Module) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in DEPRECATED_NAMES:
+                        yield self._finding(module, node, alias.name, "import")
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in DEPRECATED_NAMES:
+                    yield self._finding(module, node, node.id, "use")
+            elif isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, ast.Load
+            ):
+                if node.attr in DEPRECATED_NAMES:
+                    yield self._finding(module, node, node.attr, "use")
+
+    def _finding(
+        self, module: Module, node: ast.AST, name: str, kind: str
+    ) -> Finding:
+        return self.finding(
+            module, node,
+            f"{kind} of deprecated '{name}'; use "
+            f"{DEPRECATED_NAMES[name]}",
+            hint=f"replace {name} with {DEPRECATED_NAMES[name]}",
+        )

@@ -60,7 +60,10 @@ ENGINE_KWARGS_HOME = "src/repro/approaches.py"
 #: qualified names of the known identity sinks and their kwargs-like params
 #: (dotted params name an attribute of the parameter, e.g. ``spec.kwargs``)
 KNOWN_SINKS: Tuple[Tuple[str, str], ...] = (
-    ("ResultCache.key", "kwargs"),
+    # ResultCache.key delegates to cell_cache_key (the shared derivation
+    # behind both the disk cache and the serve LRU); the taint walk makes
+    # the delegating wrapper a derived sink automatically.
+    ("cell_cache_key", "kwargs"),
     ("cell_key", "spec.kwargs"),
     ("sample_verifies", "params"),
     ("identity_columns", "kwargs"),

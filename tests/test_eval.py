@@ -6,15 +6,21 @@ from repro.arch import CaterpillarTopology, LatticeSurgeryTopology, SycamoreTopo
 from repro.eval import (
     CompilationResult,
     architecture_label,
-    experiment_figure27_sabre_randomness,
-    experiment_relaxed_vs_strict,
     format_results,
     format_series,
     format_table,
     make_architecture,
     run_cell,
+    run_specs,
 )
-from repro.eval.experiments import QUICK, Profile, experiment_linearity
+from repro.eval.experiments import (  # repro-lint: ignore[deprecated-api] -- shim-contract import
+    QUICK,
+    Profile,
+    experiment_figure27_sabre_randomness,
+    specs_figure27,
+    specs_linearity,
+    specs_relaxed_vs_strict,
+)
 
 
 class TestMakeArchitecture:
@@ -80,12 +86,18 @@ class TestRunCell:
 
 class TestExperiments:
     def test_figure27_produces_one_row_per_seed(self):
-        rows = experiment_figure27_sabre_randomness(seeds=(0, 1, 2))
+        rows = run_specs(specs_figure27(seeds=(0, 1, 2), m=2))
         assert len(rows) == 3
         assert all(r.verified for r in rows)
 
+    def test_experiment_shim_warns_and_delegates(self):
+        # the retired experiment_* surface: one contract test for the lot
+        with pytest.warns(DeprecationWarning, match="fig27"):
+            rows = experiment_figure27_sabre_randomness(seeds=(0,))  # repro-lint: ignore[deprecated-api]
+        assert len(rows) == 1 and rows[0].verified
+
     def test_relaxed_vs_strict_shows_the_gap(self):
-        rows = experiment_relaxed_vs_strict(sycamore_m=(4,), lattice_m=())
+        rows = run_specs(specs_relaxed_vs_strict(sycamore_m=(4,), lattice_m=()))
         relaxed = [r for r in rows if r.approach == "ours-relaxed-ie"][0]
         strict = [r for r in rows if r.approach == "ours-strict-ie"][0]
         assert strict.depth > relaxed.depth
@@ -104,7 +116,7 @@ class TestExperiments:
             satmap_timeout_s=1.0,
             linearity_sizes=(2, 4),
         )
-        rows = experiment_linearity(prof)
+        rows = run_specs(specs_linearity(prof))
         assert rows
         for r in rows:
             assert r.ok

@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro.eval import CacheMergeConflict, CompilationResult, ResultCache, code_version
-from repro.eval.parallel import CellSpec, run_cells
+from repro.eval.executors import run_specs
+from repro.eval.parallel import CellSpec
 
 
 def _spec_key(cache, spec):
@@ -68,9 +69,9 @@ class TestRunCellsWithCache:
             CellSpec.make("sabre", "grid", 2, seed=s, rename=f"sabre-seed{s}")
             for s in range(3)
         ]
-        cold = run_cells(specs, cache=cache)
+        cold = run_specs(specs, cache=cache)
         assert cache.stats()["hits"] == 0
-        warm = run_cells(specs, cache=cache)
+        warm = run_specs(specs, cache=cache)
         assert cache.stats()["hits"] == 3
         assert [r.depth for r in warm] == [r.depth for r in cold]
         assert [r.approach for r in warm] == [f"sabre-seed{s}" for s in range(3)]
@@ -87,18 +88,18 @@ class TestRunCellsWithCache:
         # would serve a one-off slow run forever
         cache = ResultCache(tmp_path)
         specs = [CellSpec.make("satmap", "sycamore", 4, timeout_s=0.01)]
-        first = run_cells(specs, cache=cache)
+        first = run_specs(specs, cache=cache)
         assert first[0].status == "timeout"
         assert len(cache) == 0
-        run_cells(specs, cache=cache)
+        run_specs(specs, cache=cache)
         assert cache.stats()["hits"] == 0  # recomputed, not served stale
 
     def test_version_change_invalidates(self, tmp_path):
         cache_v1 = ResultCache(tmp_path, version="v1")
         specs = [CellSpec.make("ours", "heavyhex", 2)]
-        run_cells(specs, cache=cache_v1)
+        run_specs(specs, cache=cache_v1)
         cache_v2 = ResultCache(tmp_path, version="v2")
-        run_cells(specs, cache=cache_v2)
+        run_specs(specs, cache=cache_v2)
         assert cache_v2.stats()["hits"] == 0
         assert len(cache_v2) == 2  # both versions stored side by side
 
@@ -118,8 +119,8 @@ class TestCacheMerge:
         shard_b = ResultCache(tmp_path / "b")
         specs_a = [CellSpec.make("sabre", "grid", 2, seed=s) for s in (0, 1)]
         specs_b = [CellSpec.make("sabre", "grid", 2, seed=s) for s in (2, 3)]
-        run_cells(specs_a, cache=shard_a)
-        run_cells(specs_b, cache=shard_b)
+        run_specs(specs_a, cache=shard_a)
+        run_specs(specs_b, cache=shard_b)
         return shard_a, shard_b, specs_a + specs_b
 
     def test_merge_unions_disjoint_shards(self, tmp_path):
@@ -136,7 +137,7 @@ class TestCacheMerge:
             "invalid": 0,
         }
         # the merged cache serves the whole sweep warm
-        results = run_cells(all_specs, cache=merged)
+        results = run_specs(all_specs, cache=merged)
         assert merged.stats() == {"hits": 4, "misses": 0}
         assert all(r.ok for r in results)
 
@@ -204,7 +205,7 @@ class TestCacheMerge:
         out = capsys.readouterr().out
         assert "2 imported" in out
         merged = ResultCache(dest)
-        run_cells(all_specs, cache=merged)
+        run_specs(all_specs, cache=merged)
         assert merged.stats() == {"hits": 4, "misses": 0}
 
     def test_cli_cache_merge_requires_cache(self, tmp_path):

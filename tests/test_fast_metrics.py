@@ -16,7 +16,7 @@ from repro.arch import CaterpillarTopology, LNNTopology, SycamoreTopology, Topol
 from repro.baselines import SabreMapper
 from repro.circuit.gates import GateKind, Op
 from repro.circuit.schedule import MappedCircuit, asap_depth
-from repro.core import compile_qft
+import repro
 from repro.eval.metrics import fast_asap_depth, fast_metrics, mapped_op_arrays
 
 
@@ -40,7 +40,10 @@ TOPOLOGIES = [
 class TestRealMappedCircuits:
     @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
     def test_ours_qft(self, topo):
-        assert_fast_matches_reference(compile_qft(topo))
+        mapped = repro.compile(
+            workload="qft", architecture=topo, approach="ours", verify=False
+        ).mapped
+        assert_fast_matches_reference(mapped)
 
     @pytest.mark.parametrize("topo", TOPOLOGIES, ids=lambda t: t.name)
     def test_sabre_qft(self, topo):

@@ -10,14 +10,23 @@ from repro.arch import (
     LNNTopology,
     SycamoreTopology,
 )
+import repro
 from repro.baselines import LNNPathMapper, SabreMapper, SatmapMapper
-from repro.core import GreedyRouterMapper, compile_qft
+from repro.core import GreedyRouterMapper
 from repro.verify import (
     circuit_unitary,
     mapped_events_unitary,
     unitaries_equal_up_to_phase,
 )
 from repro.circuit import qft_circuit
+
+
+def _qft(topo):
+    """The paper's mapper via the supported entry point (ex-compile_qft)."""
+
+    return repro.compile(
+        workload="qft", architecture=topo, approach="ours", verify=False
+    ).mapped
 
 
 class TestAllApproachesAgreeOnTheUnitary:
@@ -29,7 +38,7 @@ class TestAllApproachesAgreeOnTheUnitary:
         n = topo.num_qubits
         reference = circuit_unitary(qft_circuit(n))
         mappers = [
-            compile_qft(topo),
+            _qft(topo),
             SabreMapper(topo, seed=1).map_qft(),
             GreedyRouterMapper(topo).map_qft(),
             LNNPathMapper(topo).map_qft(),
@@ -42,7 +51,7 @@ class TestAllApproachesAgreeOnTheUnitary:
     def test_lnn_6_ours_vs_sabre(self):
         topo = LNNTopology(6)
         reference = circuit_unitary(qft_circuit(6))
-        for mapped in (compile_qft(topo), SabreMapper(topo, seed=5).map_qft()):
+        for mapped in (_qft(topo), SabreMapper(topo, seed=5).map_qft()):
             u = mapped_events_unitary(6, mapped.logical_gate_events())
             assert unitaries_equal_up_to_phase(u, reference)
 
@@ -56,7 +65,7 @@ class TestPaperHeadlineClaims:
             (SycamoreTopology(8), 12),                      # ~7N (+ slack)
             (LatticeSurgeryTopology(8), 20),                # ~5N in the paper; larger constant here
         ):
-            mapped = compile_qft(topo)
+            mapped = _qft(topo)
             n = topo.num_qubits
             assert mapped.depth() <= bound * n + 40, topo.name
 
@@ -66,13 +75,13 @@ class TestPaperHeadlineClaims:
             SycamoreTopology(6),
             LatticeSurgeryTopology(6),
         ):
-            ours = compile_qft(topo)
+            ours = _qft(topo)
             sabre = SabreMapper(topo, seed=0).map_qft()
             assert ours.depth() < sabre.depth(), topo.name
 
     def test_ours_beats_sabre_on_swaps_on_lattice_at_scale(self):
         topo = LatticeSurgeryTopology(8)
-        ours = compile_qft(topo)
+        ours = _qft(topo)
         sabre = SabreMapper(topo, seed=0).map_qft()
         assert ours.swap_count() < sabre.swap_count()
 
@@ -86,13 +95,13 @@ class TestPaperHeadlineClaims:
         for groups in (4, 16):
             topo = CaterpillarTopology.regular_groups(groups)
             start = time.perf_counter()
-            compile_qft(topo)
+            _qft(topo)
             times[groups] = time.perf_counter() - start
         assert times[16] < 10.0
 
     def test_swap_count_scales_quadratically_not_worse(self):
-        small = compile_qft(CaterpillarTopology.regular_groups(4))
-        large = compile_qft(CaterpillarTopology.regular_groups(8))
+        small = _qft(CaterpillarTopology.regular_groups(4))
+        large = _qft(CaterpillarTopology.regular_groups(8))
         ratio = large.swap_count() / small.swap_count()
         assert ratio < 6  # doubling N should ~4x the SWAPs, never much more
 
@@ -111,7 +120,7 @@ class TestCrossArchitectureConsistency:
     )
     def test_full_pipeline_structure(self, factory):
         topo = factory()
-        mapped = compile_qft(topo)
+        mapped = _qft(topo)
         assert_valid_qft(mapped, topo.num_qubits)
         n = topo.num_qubits
         assert mapped.cphase_count() == n * (n - 1) // 2
@@ -123,7 +132,7 @@ class TestCrossArchitectureConsistency:
     @pytest.mark.parametrize("groups", [2, 3])
     def test_heavy_hex_and_sabre_have_same_gate_totals(self, groups):
         topo = CaterpillarTopology.regular_groups(groups)
-        ours = compile_qft(topo)
+        ours = _qft(topo)
         sabre = SabreMapper(topo, seed=0).map_qft()
         assert ours.cphase_count() == sabre.cphase_count()
         assert ours.gate_counts()["h"] == sabre.gate_counts()["h"]

@@ -1,0 +1,33 @@
+"""Deliberate deprecated-api violations; every marked line must be flagged.
+
+Mentions of retired names in docstrings and comments are fine -- only
+imports and live uses count: compile_qft, run_cells, run_all.
+"""
+
+from repro.core import compile_qft  # FINDING: import of a retired shim
+from repro.eval import run_all  # FINDING: import of a retired shim
+
+import repro.eval.parallel
+
+
+def uses_the_qft_shim(topology):
+    return compile_qft(topology)  # FINDING: call of a retired shim
+
+
+def uses_run_cells_via_attribute(specs):
+    return repro.eval.parallel.run_cells(specs)  # FINDING: attribute use
+
+
+def sweeps_everything():
+    return run_all()  # FINDING: call of a retired shim
+
+
+def rebinds_a_shim():
+    alias = compile_qft  # FINDING: bare-name use counts too
+    return alias
+
+
+def calls_experiment_family(profile):
+    from repro.eval import experiment_table1  # FINDING: retired experiment
+
+    return experiment_table1(profile)  # FINDING: call of a retired shim

@@ -1,0 +1,35 @@
+"""Ported call sites: the supported surface only; must lint clean.
+
+The docstring may say compile_qft or run_cells without tripping anything;
+only imports and live uses are flagged.
+"""
+
+import repro
+from repro.eval.executors import run_specs
+from repro.eval.runs import execute, plan
+
+
+def compiles_via_the_entry_point(topology):
+    return repro.compile(
+        workload="qft", architecture=topology, approach="ours"
+    ).mapped
+
+
+def runs_specs_directly(specs):
+    return run_specs(specs, jobs=2)
+
+
+def runs_a_planned_experiment(profile):
+    return execute(plan("fig27", profile)).results
+
+
+def defines_an_unrelated_run_all_local():
+    # a *binding* named like a shim is not a use of the shim
+    run_all = 3  # noqa: F841 -- store, never load
+    return None
+
+
+def suppressed_contract_use(topology):
+    from repro.core import compile_qft  # repro-lint: ignore[deprecated-api]
+
+    return compile_qft  # repro-lint: ignore[deprecated-api]

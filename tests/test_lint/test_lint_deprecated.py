@@ -1,0 +1,58 @@
+"""The ``deprecated-api`` checker against its fixture pair.
+
+PR 10 retired ``compile_qft``/``run_cells``/``experiment_*``/``run_all``
+to warning shims; this checker keeps new callers out statically.  The
+shim-home exemption (the modules that define or re-export the shims may
+mention the names) is exercised against a synthetic mini-project.
+"""
+
+from repro.lint import run_lint
+from repro.lint.deprecated import DEPRECATED_NAMES
+
+BAD = "deprecated/bad_snippets.py"
+GOOD = "deprecated/good_snippets.py"
+
+
+def test_bad_fixture_flags_every_marked_line(lint_fixture, marked_lines):
+    findings = lint_fixture(BAD, only=["deprecated-api"])
+    assert [f.line for f in findings] == marked_lines(BAD)
+    assert all(f.checker == "deprecated-api" for f in findings)
+
+
+def test_good_fixture_is_clean(lint_fixture):
+    assert lint_fixture(GOOD, only=["deprecated-api"]) == []
+
+
+def test_messages_name_the_replacement(lint_fixture):
+    findings = lint_fixture(BAD, only=["deprecated-api"])
+    blob = "\n".join(f.message for f in findings)
+    assert "repro.compile" in blob  # compile_qft's replacement
+    assert "run_specs" in blob  # run_cells' replacement
+    assert 'execute(plan("table1"' in blob  # experiment_table1's
+
+
+def test_every_retired_name_has_a_replacement_hint():
+    for name, replacement in DEPRECATED_NAMES.items():
+        assert replacement, name
+        assert name not in replacement  # the hint points elsewhere
+
+
+def test_shim_homes_are_exempt(tmp_path):
+    home = tmp_path / "src" / "repro" / "eval" / "parallel.py"
+    home.parent.mkdir(parents=True)
+    home.write_text(
+        "def run_cells(specs):\n"
+        '    """The shim itself may name itself."""\n'
+        "    return run_cells\n"
+    )
+    caller = tmp_path / "src" / "repro" / "eval" / "fresh.py"
+    caller.write_text(
+        "from .parallel import run_cells\n"
+        "def sweep(specs):\n"
+        "    return run_cells(specs)\n"
+    )
+    findings = run_lint(
+        [home, caller], root=tmp_path, only=["deprecated-api"]
+    )
+    assert {f.path for f in findings} == {"src/repro/eval/fresh.py"}
+    assert len(findings) == 2  # the import and the call, not the shim home

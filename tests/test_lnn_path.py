@@ -38,11 +38,13 @@ class TestLNNPathBaseline:
         assert mapped.depth() > mapped.unit_depth()
 
     def test_ours_beats_lnn_baseline_on_swap_count(self):
-        from repro.core import compile_qft
+        import repro
 
         topo = LatticeSurgeryTopology(8)
         lnn = LNNPathMapper(topo).map_qft()
-        ours = compile_qft(topo)
+        ours = repro.compile(
+            workload="qft", architecture=topo, approach="ours", verify=False
+        ).mapped
         # Fig. 19(b): our approach uses fewer SWAPs than LNN.  (The paper also
         # wins on weighted depth thanks to its hand-optimised 2xN mixed
         # schedule; our simpler row-unit schedule has a larger depth constant,

@@ -4,7 +4,8 @@ import pytest
 
 from repro.eval import ResultCache, run_cell
 from repro.eval.experiments import QUICK, specs_figure27, specs_table1
-from repro.eval.parallel import CellSpec, _topology_chunks, run_cells
+from repro.eval.executors import run_specs
+from repro.eval.parallel import CellSpec, _topology_chunks, run_cells  # repro-lint: ignore[deprecated-api] -- shim-contract test
 from repro.eval.runners import architecture_key, cached_topology
 
 
@@ -15,32 +16,32 @@ def _metrics(results):
     ]
 
 
-class TestRunCells:
+class TestRunSpecs:
     def test_order_matches_spec_order(self):
         specs = [
             CellSpec.make("ours", "heavyhex", 2),
             CellSpec.make("sabre", "grid", 2, seed=1),
             CellSpec.make("lnn", "lattice", 3),
         ]
-        results = run_cells(specs)
+        results = run_specs(specs)
         assert [r.approach for r in results] == ["ours", "sabre", "lnn"]
         assert all(r.ok for r in results)
 
     def test_jobs_do_not_change_results(self):
         specs = specs_figure27(seeds=(0, 1, 2, 3), m=3)
-        serial = run_cells(specs, jobs=1)
-        parallel = run_cells(specs, jobs=2)
+        serial = run_specs(specs, jobs=1)
+        parallel = run_specs(specs, jobs=2)
         assert _metrics(serial) == _metrics(parallel)
 
     def test_invalid_jobs_rejected(self):
         with pytest.raises(ValueError):
-            run_cells([], jobs=0)
+            run_specs([], jobs=0)
 
     def test_parallel_with_cache_roundtrip(self, tmp_path):
         cache = ResultCache(tmp_path)
         specs = specs_figure27(seeds=(0, 1, 2), m=2)
-        cold = run_cells(specs, jobs=2, cache=cache)
-        warm = run_cells(specs, jobs=2, cache=cache)
+        cold = run_specs(specs, jobs=2, cache=cache)
+        warm = run_specs(specs, jobs=2, cache=cache)
         assert _metrics(cold) == _metrics(warm)
         assert cache.stats()["hits"] == 3
 
@@ -51,7 +52,7 @@ class TestRunCells:
             CellSpec.make("ours", "sycamore", 9),
             CellSpec.make("ours", "sycamore", 4),
         ]
-        results = run_cells(specs, jobs=2)
+        results = run_specs(specs, jobs=2)
         assert [r.status for r in results] == ["ok", "error", "ok"]
         assert "even" in results[1].message
 
@@ -95,8 +96,8 @@ class TestTopologyGrouping:
             CellSpec.make("sabre", "grid", 3, seed=2),
             CellSpec.make("ours", "heavyhex", 3),
         ]
-        ungrouped = run_cells(specs, jobs=1, group_topologies=False)
-        grouped = run_cells(specs, jobs=2, group_topologies=True)
+        ungrouped = run_specs(specs, jobs=1, group_topologies=False)
+        grouped = run_specs(specs, jobs=2, group_topologies=True)
         assert _metrics(ungrouped) == _metrics(grouped)
 
     def test_chunks_group_by_canonical_topology(self):
@@ -148,7 +149,7 @@ class TestTopologyGrouping:
             CellSpec.make("sabre", "grid", 2, seed=2),
         ]
         with pytest.raises(ValueError):
-            run_cells(specs, jobs=2, cache=cache)
+            run_specs(specs, jobs=2, cache=cache)
         assert len(cache) == 2
 
 
@@ -157,7 +158,7 @@ class TestCellTimeout:
         # 4x4 Sycamore is far beyond the exact search's reach: without a
         # budget this cell would run (effectively) forever.
         specs = [CellSpec.make("satmap", "sycamore", 4, timeout_s=0.3)]
-        (res,) = run_cells(specs)
+        (res,) = run_specs(specs)
         assert res.status == "timeout"
         assert res.compile_time_s is not None
 
@@ -167,15 +168,25 @@ class TestCellTimeout:
 
     def test_fast_cell_unaffected_by_generous_budget(self):
         specs = [CellSpec.make("sabre", "grid", 2, timeout_s=120.0)]
-        (res,) = run_cells(specs)
+        (res,) = run_specs(specs)
         assert res.ok and res.verified
 
     def test_timeout_result_not_cached(self, tmp_path):
         cache = ResultCache(tmp_path)
         specs = [CellSpec.make("satmap", "sycamore", 4, timeout_s=0.2)]
-        (res,) = run_cells(specs, cache=cache)
+        (res,) = run_specs(specs, cache=cache)
         assert res.status == "timeout"
         assert len(cache) == 0
+
+
+class TestDeprecatedShim:
+    def test_run_cells_warns_and_delegates(self):
+        """The retired entry point still works, but announces run_specs."""
+
+        specs = [CellSpec.make("sabre", "grid", 2, seed=1)]
+        with pytest.warns(DeprecationWarning, match="run_specs"):
+            shim = run_cells(specs)  # repro-lint: ignore[deprecated-api]
+        assert _metrics(shim) == _metrics(run_specs(specs))
 
 
 class TestExperimentSpecs:

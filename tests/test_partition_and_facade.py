@@ -1,4 +1,4 @@
-"""Tests for the partition helpers and the compile_qft facade."""
+"""Tests for the partition helpers and the QFT compile facade."""
 
 import pytest
 
@@ -20,12 +20,19 @@ from repro.core import (
     LatticeSurgeryQFTMapper,
     LNNQFTMapper,
     SycamoreQFTMapper,
-    compile_qft,
     mapper_for,
     partitioned_qft_for,
     unit_partition_for,
 )
 from repro.verify import circuit_unitary, unitaries_equal_up_to_phase
+
+import repro
+
+
+def _qft(topo):
+    return repro.compile(
+        workload="qft", architecture=topo, approach="ours", verify=False
+    ).mapped
 
 
 class TestUnitPartition:
@@ -83,7 +90,7 @@ class TestMapperFacade:
     def test_unknown_topology_falls_back_to_greedy_router(self):
         star = Topology(5, [(0, i) for i in range(1, 5)])
         assert isinstance(mapper_for(star), GreedyRouterMapper)
-        mapped = compile_qft(star)
+        mapped = _qft(star)
         assert_valid_qft(mapped, 5)
 
     @pytest.mark.parametrize(
@@ -97,14 +104,14 @@ class TestMapperFacade:
         ],
         ids=["lnn", "heavyhex", "sycamore", "lattice", "grid"],
     )
-    def test_compile_qft_end_to_end(self, topo_factory):
+    def test_compile_facade_end_to_end(self, topo_factory):
         topo = topo_factory()
-        mapped = compile_qft(topo)
+        mapped = _qft(topo)
         assert_valid_qft(mapped, topo.num_qubits)
 
     def test_grid_note_lattice_is_not_dispatched_to_grid(self):
         # LatticeSurgeryTopology is not a GridTopology subclass; make sure the
         # FT cost model is the one applied
         topo = LatticeSurgeryTopology(3)
-        mapped = compile_qft(topo)
+        mapped = _qft(topo)
         assert mapped.depth() > mapped.unit_depth()

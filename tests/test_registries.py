@@ -15,7 +15,7 @@ from repro import (
 )
 from repro.approaches import APPROACH_REGISTRY
 from repro.arch.registry import ARCHITECTURES
-from repro.eval import CellSpec, ResultCache, run_cells
+from repro.eval import CellSpec, ResultCache, run_specs
 from repro.workloads import WORKLOADS
 
 
@@ -112,12 +112,12 @@ class TestUnsupportedNeverCached:
             CellSpec.make("ours", "grid", 3, workload="qaoa"),  # unsupported
             CellSpec.make("sabre", "grid", 3, workload="qaoa"),  # ok
         ]
-        first = run_cells(specs, cache=cache)
+        first = run_specs(specs, cache=cache)
         assert first[0].status == "unsupported"
         assert first[1].status == "ok"
         assert len(cache) == 1  # only the ok cell persisted
 
-        second = run_cells(specs, cache=cache)
+        second = run_specs(specs, cache=cache)
         assert second[0].status == "unsupported"
         assert second[1].extra.get("cache") == "hit"
         assert second[0].extra.get("cache") is None

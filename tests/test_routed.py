@@ -99,9 +99,11 @@ class TestGreedyRouter:
             GreedyRouterMapper(LNNTopology(3)).map_qft(5)
 
     def test_is_worse_than_the_domain_specific_mapper(self):
-        from repro.core import compile_qft
+        import repro
 
         topo = GridTopology(4, 4)
         greedy = GreedyRouterMapper(topo).map_qft()
-        ours = compile_qft(topo)
+        ours = repro.compile(
+            workload="qft", architecture=topo, approach="ours", verify=False
+        ).mapped
         assert ours.depth() < greedy.depth()

@@ -103,9 +103,11 @@ class TestSabreBehaviour:
     def test_sabre_needs_more_swaps_than_ours_at_scale(self):
         """The paper's headline: the analytical mapper wins as size grows."""
 
-        from repro.core import compile_qft
+        import repro
 
         topo = LatticeSurgeryTopology(6)
-        ours = compile_qft(topo)
+        ours = repro.compile(
+            workload="qft", architecture=topo, approach="ours", verify=False
+        ).mapped
         sabre = SabreMapper(topo, seed=0).map_qft()
         assert ours.depth() < sabre.depth()

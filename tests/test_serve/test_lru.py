@@ -1,0 +1,43 @@
+"""The in-memory hot-set cache: recency eviction and counters."""
+
+from repro.serve import LRUCache
+
+
+def test_lru_evicts_least_recently_used():
+    lru = LRUCache(2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    assert lru.get("a") == 1  # refresh a: b is now the eviction candidate
+    lru.put("c", 3)
+    assert "b" not in lru
+    assert lru.get("a") == 1
+    assert lru.get("c") == 3
+    assert lru.evictions == 1
+
+
+def test_lru_counts_hits_and_misses():
+    lru = LRUCache(4)
+    assert lru.get("missing") is None
+    lru.put("k", "v")
+    assert lru.get("k") == "v"
+    stats = lru.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["size"] == 1
+
+
+def test_lru_put_refreshes_existing_key():
+    lru = LRUCache(2)
+    lru.put("a", 1)
+    lru.put("b", 2)
+    lru.put("a", 10)  # refresh + overwrite: b is the LRU entry
+    lru.put("c", 3)
+    assert "b" not in lru
+    assert lru.get("a") == 10
+
+
+def test_zero_capacity_disables_cache():
+    lru = LRUCache(0)
+    lru.put("a", 1)
+    assert lru.get("a") is None
+    assert len(lru) == 0

@@ -1,0 +1,103 @@
+"""The served process end to end: warm latency, chaos recovery, drain."""
+
+from __future__ import annotations
+
+import statistics
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import ServeClient, ServeRequestError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _client(handle, **kwargs) -> ServeClient:
+    return ServeClient(handle.url, **kwargs)
+
+
+def test_warm_worker_beats_cold_process(serve_subprocess):
+    """Prewarmed serving must beat paying the cold-start on every compile."""
+
+    handle = serve_subprocess("--workers", "1", "--prewarm", "grid:4")
+    client = _client(handle)
+    assert client.health()["status"] == "ok"
+
+    warm_wall = []
+    for seed in (11, 12, 13):  # distinct seeds: no LRU hits, real compiles
+        t0 = time.perf_counter()
+        resp = client.compile(
+            workload="qft", architecture="grid", size=4,
+            approach="sabre", seed=seed,
+        )
+        warm_wall.append(time.perf_counter() - t0)
+        assert resp.ok and resp.cache is None
+
+    t0 = time.perf_counter()
+    cold = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "import repro; repro.compile(workload='qft', architecture='grid',"
+            " size=4, approach='sabre', seed=11)",
+        ],
+        cwd=REPO_ROOT,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        check=True,
+        capture_output=True,
+    )
+    cold_wall = time.perf_counter() - t0
+    assert cold.returncode == 0
+
+    warm_p50 = statistics.median(warm_wall)
+    # the cold path pays interpreter boot + imports + topology construction
+    # on every compile; the warm pool paid them once at startup
+    assert warm_p50 < cold_wall, (warm_wall, cold_wall)
+
+
+def test_chaos_killed_worker_never_surfaces_500(serve_subprocess):
+    """SIGKILLing a worker mid-request respawns + re-dispatches, not 500."""
+
+    handle = serve_subprocess(
+        "--workers", "1", "--prewarm", "grid:4",
+        chaos="kill-worker@worker=w0,cell=1",
+    )
+    client = _client(handle, timeout_s=120.0)
+    resp = client.compile(
+        workload="qft", architecture="grid", size=4, approach="sabre", seed=7
+    )
+    assert resp.ok and resp.status == "ok"
+    stats = client.stats()
+    assert stats["pool"]["respawns"] >= 1
+    assert stats["pool_failures"] == 0
+
+
+def test_sigterm_drains_and_exits_zero(serve_subprocess):
+    handle = serve_subprocess("--workers", "1", "--prewarm", "grid:4")
+    client = _client(handle)
+    resp = client.compile(architecture="grid", size=4, approach="sabre", seed=1)
+    assert resp.ok
+    assert handle.terminate() == 0
+    tail = handle.proc.stdout.read()
+    assert "drained and stopped" in tail
+
+
+def test_bad_request_surfaces_typed_client_error(serve_subprocess):
+    handle = serve_subprocess("--workers", "1")
+    client = _client(handle)
+    with pytest.raises(ServeRequestError, match="did you mean"):
+        client.compile(architecture="gird", size=4)
+    # a rejected request must not poison the server
+    assert client.health()["status"] == "ok"
+
+
+def test_lru_hit_over_the_wire(serve_subprocess):
+    handle = serve_subprocess("--workers", "1", "--prewarm", "grid:4")
+    client = _client(handle)
+    first = client.compile(architecture="grid", size=4, approach="sabre", seed=2)
+    second = client.compile(architecture="grid", size=4, approach="sabre", seed=2)
+    assert first.cache is None and second.cache == "lru"
+    assert first.metrics == second.metrics

@@ -23,7 +23,8 @@ from repro.eval import (
     adhoc_plan,
     execute,
 )
-from repro.eval.parallel import CellSpec, run_cells
+from repro.eval.executors import run_specs
+from repro.eval.parallel import CellSpec
 from repro.store import (
     ExperimentStore,
     comparable_result,
@@ -179,9 +180,9 @@ class TestStoreBackedCache:
             CellSpec.make("sabre", "grid", 2, seed=s, rename=f"sabre-seed{s}")
             for s in range(3)
         ]
-        cold = run_cells(specs, cache=cache)
+        cold = run_specs(specs, cache=cache)
         assert cache.stats()["hits"] == 0
-        warm = run_cells(specs, cache=cache)
+        warm = run_specs(specs, cache=cache)
         assert cache.stats()["hits"] == 3
         assert [r.depth for r in warm] == [r.depth for r in cold]
         assert all(r.extra.get("cache") == "hit" for r in warm)
@@ -190,20 +191,20 @@ class TestStoreBackedCache:
     def test_timeout_results_are_not_cached(self, tmp_path):
         cache = ResultCache(tmp_path / "cache.db")
         specs = [CellSpec.make("satmap", "sycamore", 4, timeout_s=0.01)]
-        first = run_cells(specs, cache=cache)
+        first = run_specs(specs, cache=cache)
         assert first[0].status == "timeout"
         assert len(cache) == 0
-        run_cells(specs, cache=cache)
+        run_specs(specs, cache=cache)
         assert cache.stats()["hits"] == 0
         cache.close()
 
     def test_version_change_invalidates(self, tmp_path):
         cache_v1 = ResultCache(tmp_path / "cache.db", version="v1")
         specs = [CellSpec.make("ours", "heavyhex", 2)]
-        run_cells(specs, cache=cache_v1)
+        run_specs(specs, cache=cache_v1)
         cache_v1.close()
         cache_v2 = ResultCache(tmp_path / "cache.db", version="v2")
-        run_cells(specs, cache=cache_v2)
+        run_specs(specs, cache=cache_v2)
         assert cache_v2.stats()["hits"] == 0
         assert len(cache_v2) == 2  # both versions stored side by side
         cache_v2.close()
@@ -214,7 +215,7 @@ class TestStoreMerge:
 
     def _shard(self, root, seeds, version="v1"):
         cache = ResultCache(root, version=version)
-        run_cells(
+        run_specs(
             [CellSpec.make("sabre", "grid", 2, seed=s) for s in seeds],
             cache=cache,
         )
@@ -233,14 +234,14 @@ class TestStoreMerge:
         again = merged.merge(a.root)
         assert again == {"imported": 0, "skipped": 2, "invalid": 0}
         all_specs = [CellSpec.make("sabre", "grid", 2, seed=s) for s in range(4)]
-        results = run_cells(all_specs, cache=merged)
+        results = run_specs(all_specs, cache=merged)
         assert merged.stats() == {"hits": 4, "misses": 0}
         assert all(r.ok for r in results)
         merged.close()
 
     def test_store_to_store_merge(self, tmp_path):
         a = ResultCache(tmp_path / "a.db", version="v1")
-        run_cells([CellSpec.make("sabre", "grid", 2, seed=0)], cache=a)
+        run_specs([CellSpec.make("sabre", "grid", 2, seed=0)], cache=a)
         a.close()
         b = ResultCache(tmp_path / "b.db", version="v1")
         assert b.merge(tmp_path / "a.db") == {
@@ -257,7 +258,7 @@ class TestStoreMerge:
         assert dest.merge(tmp_path / "src.db") == {
             "imported": 2, "skipped": 0, "invalid": 0,
         }
-        warm = run_cells(
+        warm = run_specs(
             [CellSpec.make("sabre", "grid", 2, seed=s) for s in (0, 1)],
             cache=dest,
         )
@@ -437,7 +438,7 @@ class TestImportLegacy:
 
     def test_cache_dir_import(self, tmp_path):
         cache = ResultCache(tmp_path / "c", version="v1")
-        run_cells([CellSpec.make("sabre", "grid", 2, seed=0)], cache=cache)
+        run_specs([CellSpec.make("sabre", "grid", 2, seed=0)], cache=cache)
         from repro.store import legacy
 
         with ExperimentStore(tmp_path / "s.db") as store:
@@ -631,7 +632,18 @@ class TestPerfGateDb:
         # The fallback is visible, then the gate runs against the JSON file.
         assert "falling back to base.json" in proc.stdout
         assert proc.returncode == 0, proc.stderr
-        assert "of base.json" in proc.stdout
+        assert "baseline source: committed JSON base.json" in proc.stdout
+        assert "of committed JSON base.json" in proc.stdout
+
+    def test_baseline_source_named_on_every_path(self, tmp_path):
+        # store hit, JSON fallback and FAIL verdict all name their source
+        db = self._db_with_baseline(tmp_path, wall=0.1)
+        hit = self._gate(str(self._current(tmp_path, wall=0.1)), "--db", str(db))
+        assert "baseline source: store s.db (commit base" in hit.stdout
+        fail = self._gate(str(self._current(tmp_path, wall=10.0)), "--db", str(db))
+        assert fail.returncode == 1
+        assert "baseline source: store s.db" in fail.stdout
+        assert "of store s.db" in fail.stderr  # the verdict names it too
 
     def test_bench_store_flag_records_history(self, tmp_path):
         from repro.store import legacy
